@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Collecting and
+// Maintaining Just-in-Time Statistics" (El-Helw, Ilyas, Lau, Markl,
+// Zuzarte — ICDE 2007).
+//
+// The library lives under internal/: a complete in-memory cost-based SQL
+// engine (storage, indexes, SQL front end, Query Graph Model, catalog,
+// histograms, sampling, optimizer, executor, LEO-style feedback) with the
+// paper's JITS framework in internal/core, an engine facade in
+// internal/engine, the paper's car-insurance workload in internal/workload
+// and the evaluation harness in internal/experiments.
+//
+// The root package carries the module documentation and the benchmark
+// suite (bench_test.go) that regenerates every table and figure of the
+// paper's evaluation; see README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

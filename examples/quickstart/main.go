@@ -1,0 +1,74 @@
+// Quickstart: build a tiny database, run a correlated query with and
+// without JITS, and compare the optimizer's estimates.
+//
+// The data is built so that model determines make — the classic correlation
+// that breaks the optimizer's independence assumption. Without statistics
+// the optimizer guesses; with JITS it samples the table during compilation
+// and learns the joint selectivity exactly.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+func buildData(e *engine.Engine) {
+	statements := []string{
+		`CREATE TABLE car (id INT, make STRING, model STRING, year INT, price FLOAT)`,
+	}
+	for _, sql := range statements {
+		if _, err := e.Exec(sql); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// 2000 cars; every Camry is a Toyota (40% of the fleet).
+	pairs := [][2]string{
+		{"Toyota", "Camry"}, {"Toyota", "Camry"}, {"Toyota", "Corolla"},
+		{"Honda", "Civic"}, {"BMW", "X5"},
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO car VALUES ")
+	for i := 0; i < 2000; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		p := pairs[i%len(pairs)]
+		fmt.Fprintf(&sb, "(%d, '%s', '%s', %d, %d)", i, p[0], p[1], 1995+i%15, 15000+i*7%20000)
+	}
+	if _, err := e.Exec(sb.String()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(label string, cfg engine.Config) {
+	e := engine.New(cfg)
+	buildData(e)
+	res, err := e.Exec(`SELECT id FROM car WHERE make = 'Toyota' AND model = 'Camry'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("--- %s\n", label)
+	fmt.Print(res.Plan)
+	fmt.Printf("actual rows: %d\n", len(res.Rows))
+	fmt.Printf("compile %.4fs, exec %.4fs (simulated)\n\n",
+		res.Metrics.CompileSeconds, res.Metrics.ExecSeconds)
+}
+
+func main() {
+	fmt.Println("True joint selectivity of (make='Toyota' AND model='Camry') is 0.40;")
+	fmt.Println("independence over the marginals would predict 0.60 x 0.40 = 0.24, and")
+	fmt.Println("with no statistics at all the optimizer guesses 0.04 x 0.04 = 0.0016.")
+	fmt.Println()
+
+	run("without statistics", engine.Config{})
+
+	cfg := engine.Config{JITS: core.DefaultConfig()}
+	cfg.JITS.ForceCollect = true
+	run("with JITS (samples during compilation)", cfg)
+}

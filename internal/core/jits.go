@@ -1,0 +1,411 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/costmodel"
+	"repro/internal/feedback"
+	"repro/internal/index"
+	"repro/internal/qgm"
+	"repro/internal/sampling"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Config tunes the JITS framework.
+type Config struct {
+	// Enabled switches the whole framework; when false, Prepare returns a
+	// nil QueryStats and the optimizer runs on general statistics alone.
+	Enabled bool
+	// SMax is the sensitivity-analysis threshold of §3.3: 0 collects all
+	// possible QSS on every query, 1 never collects. Default 0.5.
+	SMax float64
+	// SampleSize is the fixed number of rows sampled per marked table
+	// (independent of table size, per the paper). Default 2000.
+	SampleSize int
+	// SpaceBudgetBuckets bounds total archive histogram buckets.
+	SpaceBudgetBuckets int
+	// MemoCapacity bounds the exact-match selectivity memo.
+	MemoCapacity int
+	// MaxPredsPerTable caps Algorithm 1's group enumeration.
+	MaxPredsPerTable int
+	// ForceCollect bypasses the sensitivity analysis: every table with
+	// local predicates is sampled and every group materialized — the
+	// "sensitivity analysis turned off" mode of the paper's §4.1
+	// experiment, equivalent to s_max = 0.
+	ForceCollect bool
+	// Strategy selects the sensitivity-analysis algorithm: the paper's
+	// lightweight Algorithms 2–3 (default) or the Chaudhuri–Narasayya
+	// magic-number analysis (StrategyCN) as a comparison baseline.
+	Strategy Strategy
+	// CNEpsilon, CNThreshold and CNMaxRounds tune StrategyCN; zero values
+	// select the defaults.
+	CNEpsilon   float64
+	CNThreshold float64
+	CNMaxRounds int
+	// PerGroupSampling emulates the paper's prototype, which "constructed
+	// and invoked sampling queries on-the-fly" per statistic: collection
+	// cost is charged once per candidate predicate group instead of once
+	// per table. Selectivities are identical; only the compilation cost
+	// profile changes (it scales with the group count, reproducing the
+	// paper's Figure 6 regime where s_max = 0 loses to s_max = 1).
+	PerGroupSampling bool
+	// Seed makes sampling reproducible.
+	Seed int64
+}
+
+// withDefaults fills zero-valued knobs. SMax stays as given: an explicit
+// zero is meaningful (collect everything).
+func (c Config) withDefaults() Config {
+	if c.SampleSize <= 0 {
+		c.SampleSize = 2000
+	}
+	if c.MaxPredsPerTable <= 0 {
+		c.MaxPredsPerTable = DefaultMaxPredsPerTable
+	}
+	return c
+}
+
+// DefaultConfig returns the enabled configuration with the paper's
+// suggested workload threshold (s_max = 0.5).
+func DefaultConfig() Config {
+	return Config{
+		Enabled:            true,
+		SMax:               0.5,
+		SampleSize:         2000,
+		SpaceBudgetBuckets: DefaultSpaceBudgetBuckets,
+		MemoCapacity:       DefaultMemoCapacity,
+		MaxPredsPerTable:   DefaultMaxPredsPerTable,
+		Seed:               1,
+	}
+}
+
+// JITS coordinates the framework modules across queries. One instance
+// lives inside the engine; its archive and history persist across the
+// workload, which is where the amortization the paper reports comes from.
+type JITS struct {
+	mu      sync.Mutex
+	cfg     Config
+	archive *Archive
+	history *feedback.History
+	cat     *catalog.Catalog
+	sampler *sampling.Sampler
+	indexes *index.Set // bound by the engine; used by StrategyCN plan probes
+}
+
+// New builds a JITS coordinator sharing the engine's catalog and feedback
+// history.
+func New(cfg Config, history *feedback.History, cat *catalog.Catalog) *JITS {
+	cfg = cfg.withDefaults()
+	return &JITS{
+		cfg:     cfg,
+		archive: NewArchive(cfg.SpaceBudgetBuckets, cfg.MemoCapacity),
+		history: history,
+		cat:     cat,
+		sampler: sampling.New(cfg.Seed),
+	}
+}
+
+// Config returns the active configuration.
+func (j *JITS) Config() Config { return j.cfg }
+
+// SetSMax adjusts the sensitivity threshold (used by the Figure 6 sweep).
+func (j *JITS) SetSMax(smax float64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cfg.SMax = smax
+}
+
+// Archive exposes the QSS archive (read-mostly; examples and experiments
+// inspect it).
+func (j *JITS) Archive() *Archive { return j.archive }
+
+// QueryStats carries the statistics available to one query's optimization:
+// selectivities freshly collected during this compilation, plus the shared
+// archive. It implements optimizer.StatsSource.
+type QueryStats struct {
+	fresh   map[string]float64
+	cards   map[string]int64
+	archive *Archive
+	ts      int64
+}
+
+// GroupSelectivity implements optimizer.StatsSource.
+func (qs *QueryStats) GroupSelectivity(table string, preds []qgm.Predicate) (float64, string, bool) {
+	if len(preds) == 0 {
+		return 1, "", false
+	}
+	key := qgm.PredicateGroupKey(table, preds)
+	if sel, ok := qs.fresh[key]; ok {
+		return sel, qgm.ColumnGroupKey(table, qgm.GroupColumns(preds)), true
+	}
+	return qs.archive.GroupSelectivity(table, preds, qs.ts)
+}
+
+// Cardinality implements optimizer.StatsSource.
+func (qs *QueryStats) Cardinality(table string) (int64, bool) {
+	if card, ok := qs.cards[table]; ok {
+		return card, true
+	}
+	return qs.archive.Cardinality(table)
+}
+
+// ColumnNDV implements optimizer.StatsSource: distinct-value estimates
+// derived from collection samples, current or archived.
+func (qs *QueryStats) ColumnNDV(table, column string) (int64, bool) {
+	return qs.archive.ColumnNDV(table, column)
+}
+
+// FreshGroups reports how many predicate-group selectivities this query's
+// compilation collected.
+func (qs *QueryStats) FreshGroups() int { return len(qs.fresh) }
+
+// TableReport records the sensitivity decision and collection work for one
+// table of one prepared query.
+type TableReport struct {
+	Table              string
+	Alias              string
+	Collected          bool
+	Scores             Scores
+	SampleRows         int
+	GroupsEvaluated    int
+	GroupsMaterialized int
+}
+
+// PrepareReport summarizes one Prepare call for experiments and logging.
+type PrepareReport struct {
+	Tables []TableReport
+}
+
+// CollectedTables counts tables that were sampled.
+func (r *PrepareReport) CollectedTables() int {
+	n := 0
+	for _, t := range r.Tables {
+		if t.Collected {
+			n++
+		}
+	}
+	return n
+}
+
+// Prepare runs the JITS compile-time pipeline for a query: Algorithm 1
+// (candidate groups), Algorithm 2/3 (which tables to sample), one-pass
+// sampling and group evaluation, Algorithm 4 (which statistics to
+// materialize into the archive), cardinality refresh, and UDI reset. The
+// meter is the *compilation* meter: everything charged here is the paper's
+// "JITS overhead" that shows up in compilation time.
+func (j *JITS) Prepare(q *qgm.Query, db *storage.Database, ts int64, meter *costmodel.Meter, w costmodel.Weights) (*QueryStats, *PrepareReport, error) {
+	if !j.cfg.Enabled {
+		return nil, &PrepareReport{}, nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+
+	qs := &QueryStats{
+		fresh:   make(map[string]float64),
+		cards:   make(map[string]int64),
+		archive: j.archive,
+		ts:      ts,
+	}
+	report := &PrepareReport{}
+	sens := &Sensitivity{History: j.history, Archive: j.archive, Cat: j.cat, SMax: j.cfg.SMax}
+
+	// Table statistics (row counts) are needed for *every* table involved
+	// in the query (§3.2), not only those with local predicates: refresh
+	// them from storage metadata — a cached catalog read, free at the cost
+	// model's granularity.
+	for _, blk := range q.Blocks {
+		for _, ti := range blk.Tables {
+			tbl, ok := db.Table(ti.Table)
+			if !ok {
+				return nil, nil, fmt.Errorf("jits: table %q not in database", ti.Table)
+			}
+			card := int64(tbl.RowCount())
+			qs.cards[ti.Table] = card
+			j.archive.SetCardinality(ti.Table, card, ts)
+		}
+	}
+
+	// The CN baseline decides the collection set up front by probing plans
+	// (after cardinalities are refreshed, which its costing consumes).
+	var cnSet map[string]bool
+	if j.cfg.Strategy == StrategyCN && !j.cfg.ForceCollect {
+		cnSet = make(map[string]bool)
+		for _, blk := range q.Blocks {
+			for _, name := range j.cnDecide(blk, qs, meter, w) {
+				cnSet[name] = true
+			}
+		}
+	}
+
+	candidates := AnalyzeQuery(q, j.cfg.MaxPredsPerTable)
+
+	// Instances of the same base table share one sample: merge their
+	// candidate groups (deduplicated by canonical key) per table name.
+	type tableWork struct {
+		table   string
+		aliases []string
+		groups  [][]qgm.Predicate
+		keys    map[string]bool
+	}
+	byTable := make(map[string]*tableWork)
+	var order []string
+	for _, tc := range candidates {
+		tw, ok := byTable[tc.Table]
+		if !ok {
+			tw = &tableWork{table: tc.Table, keys: make(map[string]bool)}
+			byTable[tc.Table] = tw
+			order = append(order, tc.Table)
+		}
+		tw.aliases = append(tw.aliases, tc.Alias)
+		for _, g := range tc.Groups {
+			key := qgm.PredicateGroupKey(tc.Table, g)
+			if !tw.keys[key] {
+				tw.keys[key] = true
+				tw.groups = append(tw.groups, g)
+			}
+		}
+	}
+	sort.Strings(order)
+
+	for _, name := range order {
+		tw := byTable[name]
+		tbl, ok := db.Table(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("jits: table %q not in database", name)
+		}
+		udi := tbl.UDICounter().Total()
+		act := TableActivity{Table: name, Cardinality: int64(tbl.RowCount()), UDI: udi}
+
+		collect := j.cfg.ForceCollect
+		var scores Scores
+		if !collect {
+			if cnSet != nil {
+				collect = cnSet[name]
+			} else {
+				collect, scores = sens.ShouldCollectStats(act, tw.groups)
+			}
+		}
+		tr := TableReport{
+			Table: name, Alias: tw.aliases[0],
+			Collected: collect, Scores: scores,
+			GroupsEvaluated: len(tw.groups),
+		}
+		if collect {
+			sample := j.sampler.Rows(tbl, j.cfg.SampleSize, meter, w)
+			if j.cfg.PerGroupSampling && len(tw.groups) > 1 {
+				// Prototype-faithful costing: every additional candidate
+				// group pays its own sampling query.
+				meter.Add(w.SampleRow * float64(len(sample)) * float64(len(tw.groups)-1))
+			}
+			sels := sampling.EvaluateGroups(sample, tw.groups, meter, w)
+			floor := sampling.SelectivityFloor(len(sample))
+			domains := SampleDomains(tbl.Schema(), sample)
+
+			card := int64(tbl.RowCount())
+			j.archive.SetCardinality(name, card, ts)
+			qs.cards[name] = card
+
+			// Distinct-value estimates per column from the same sample
+			// (Duj1), refreshed into the archive for join estimation.
+			schema := tbl.Schema()
+			for c := 0; c < schema.NumColumns(); c++ {
+				colVals := make([]value.Datum, len(sample))
+				for ri, row := range sample {
+					colVals[ri] = row[c]
+				}
+				if ndv := sampling.EstimateNDV(colVals, int(card)); ndv > 0 {
+					j.archive.SetColumnNDV(name, schema.Column(c).Name, ndv, ts)
+				}
+			}
+
+			for gi, g := range tw.groups {
+				sel := sels[gi]
+				if sel <= 0 {
+					sel = floor
+				}
+				qs.fresh[qgm.PredicateGroupKey(name, g)] = sel
+
+				materialize := j.cfg.ForceCollect || sens.ShouldMaterialize(name, g)
+				if materialize {
+					touched := j.archive.Materialize(name, g, sel, ts, domains)
+					meter.Add(w.HistUpdate * float64(touched))
+					tr.GroupsMaterialized++
+				}
+			}
+			tr.SampleRows = len(sample)
+			tbl.ResetUDI()
+		}
+		report.Tables = append(report.Tables, tr)
+	}
+	return qs, report, nil
+}
+
+// SampleDomains derives per-column domains (coordinate range + unit) from
+// the sample rows, for archive grid creation.
+func SampleDomains(schema *storage.Schema, sample [][]value.Datum) map[string]ColumnDomain {
+	out := make(map[string]ColumnDomain, schema.NumColumns())
+	for c := 0; c < schema.NumColumns(); c++ {
+		col := schema.Column(c)
+		var min, max value.Datum
+		for _, row := range sample {
+			d := row[c]
+			if d.IsNull() {
+				continue
+			}
+			if min.IsNull() || d.Compare(min) < 0 {
+				min = d
+			}
+			if max.IsNull() || d.Compare(max) > 0 {
+				max = d
+			}
+		}
+		if min.IsNull() {
+			continue // no observed values: not gridable
+		}
+		out[col.Name] = ColumnDomain{
+			Lo:   min.Coord(),
+			Hi:   max.Coord(),
+			Unit: catalog.UnitFor(col.Kind, min, max),
+			Kind: col.Kind,
+		}
+	}
+	return out
+}
+
+// Observation is one post-execution comparison of estimated and actual
+// selectivity for a table's local predicate group — what LEO's monitoring
+// delivers.
+type Observation struct {
+	Table     string
+	ColGrp    string
+	StatList  []string
+	EstSel    float64
+	ActualSel float64
+	BaseCard  int64
+}
+
+// Feedback records execution observations into the StatHistory. It runs
+// regardless of whether JITS collection is enabled — the feedback loop is
+// the engine's (LEO's), and JITS merely consumes it.
+func (j *JITS) Feedback(obs []Observation) {
+	for _, o := range obs {
+		if o.ColGrp == "" {
+			continue
+		}
+		ef := feedback.ErrorFactor(o.EstSel, o.ActualSel, o.BaseCard)
+		j.history.Record(o.Table, o.ColGrp, o.StatList, ef)
+	}
+}
+
+// MigrateToCatalog periodically pushes archived 1-D histograms and fresh
+// cardinalities into the system catalog (Figure 1's statistics-migration
+// module). Returns the number of histograms migrated.
+func (j *JITS) MigrateToCatalog(ts int64) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.archive.MigrateToCatalog(j.cat, ts)
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/histogram"
+)
+
+// Serialized archive state. In the paper's prototype the QSS archive lives
+// inside DB2's catalog tables and therefore persists across restarts; here
+// Save/Load provide the same durability through JSON.
+
+type gridSnapshot struct {
+	Key   string             `json:"key"`
+	Cols  []string           `json:"cols"`
+	Units map[string]float64 `json:"units"`
+	Hist  histogram.Snapshot `json:"hist"`
+}
+
+type memoSnapshot struct {
+	Key      string  `json:"key"`
+	Sel      float64 `json:"sel"`
+	TS       int64   `json:"ts"`
+	LastUsed int64   `json:"lastUsed"`
+}
+
+type cardSnapshot struct {
+	Table string `json:"table"`
+	Card  int64  `json:"card"`
+	TS    int64  `json:"ts"`
+}
+
+type ndvSnapshot struct {
+	Key string `json:"key"` // "table.column"
+	NDV int64  `json:"ndv"`
+	TS  int64  `json:"ts"`
+}
+
+type archiveSnapshot struct {
+	Version      int            `json:"version"`
+	Budget       int            `json:"budget"`
+	MemoCapacity int            `json:"memoCapacity"`
+	Grids        []gridSnapshot `json:"grids"`
+	Memo         []memoSnapshot `json:"memo"`
+	Cards        []cardSnapshot `json:"cards"`
+	NDVs         []ndvSnapshot  `json:"ndvs"`
+}
+
+const archiveSnapshotVersion = 1
+
+// Save serializes the archive to w as JSON.
+func (a *Archive) Save(w io.Writer) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	snap := archiveSnapshot{
+		Version:      archiveSnapshotVersion,
+		Budget:       a.budget,
+		MemoCapacity: a.memoCapacity,
+	}
+	for key, g := range a.grids {
+		snap.Grids = append(snap.Grids, gridSnapshot{
+			Key: key, Cols: g.cols, Units: g.units, Hist: g.hist.Snapshot(),
+		})
+	}
+	for key, m := range a.memo {
+		snap.Memo = append(snap.Memo, memoSnapshot{Key: key, Sel: m.sel, TS: m.ts, LastUsed: m.lastUsed})
+	}
+	for table, c := range a.cards {
+		snap.Cards = append(snap.Cards, cardSnapshot{Table: table, Card: c.card, TS: c.ts})
+	}
+	for key, n := range a.ndvs {
+		snap.NDVs = append(snap.NDVs, ndvSnapshot{Key: key, NDV: n.ndv, TS: n.ts})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(snap)
+}
+
+// LoadArchive deserializes an archive previously written by Save,
+// validating every histogram.
+func LoadArchive(r io.Reader) (*Archive, error) {
+	var snap archiveSnapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decoding archive: %w", err)
+	}
+	if snap.Version != archiveSnapshotVersion {
+		return nil, fmt.Errorf("core: archive snapshot version %d not supported", snap.Version)
+	}
+	a := NewArchive(snap.Budget, snap.MemoCapacity)
+	for _, gs := range snap.Grids {
+		h, err := histogram.FromSnapshot(gs.Hist)
+		if err != nil {
+			return nil, fmt.Errorf("core: grid %q: %w", gs.Key, err)
+		}
+		units := gs.Units
+		if units == nil {
+			units = map[string]float64{}
+		}
+		a.grids[gs.Key] = &gridEntry{key: gs.Key, hist: h, cols: gs.Cols, units: units}
+	}
+	for _, ms := range snap.Memo {
+		a.memo[ms.Key] = &memoEntry{sel: ms.Sel, ts: ms.TS, lastUsed: ms.LastUsed}
+	}
+	for _, cs := range snap.Cards {
+		a.cards[cs.Table] = cardEntry{card: cs.Card, ts: cs.TS}
+	}
+	for _, ns := range snap.NDVs {
+		a.ndvs[ns.Key] = ndvEntry{ndv: ns.NDV, ts: ns.TS}
+	}
+	return a, nil
+}
+
+// SaveArchive writes the coordinator's archive (engine-facing convenience).
+func (j *JITS) SaveArchive(w io.Writer) error {
+	return j.archive.Save(w)
+}
+
+// RestoreArchive replaces the coordinator's archive with a previously saved
+// one — statistics materialized in an earlier session become reusable
+// immediately.
+func (j *JITS) RestoreArchive(a *Archive) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.archive = a
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/qgm"
+	"repro/internal/value"
+)
+
+func populatedArchive(t *testing.T) *Archive {
+	t.Helper()
+	a := NewArchive(1000, 100)
+	domains := map[string]ColumnDomain{
+		"year": intDomain(1990, 2010),
+		"make": {Lo: value.StringCoord("Audi"), Hi: value.StringCoord("Toyota"), Unit: 1, Kind: value.KindString},
+	}
+	a.SetCardinality("car", 5000, 1)
+	a.SetColumnNDV("car", "make", 10, 1)
+	a.Materialize("car", []qgm.Predicate{gtPred("year", 2000)}, 0.4, 1, domains)
+	a.Materialize("car", []qgm.Predicate{eqPred("make", "Toyota")}, 0.2, 2, domains)
+	a.Materialize("car", []qgm.Predicate{
+		{Column: "make", Op: qgm.OpIn, Values: []value.Datum{value.NewString("Kia")}},
+	}, 0.05, 3, nil) // memo entry
+	return a
+}
+
+func TestArchiveSaveLoadRoundTrip(t *testing.T) {
+	a := populatedArchive(t)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadArchive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Histograms() != a.Histograms() || b.MemoEntries() != a.MemoEntries() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+			b.Histograms(), b.MemoEntries(), a.Histograms(), a.MemoEntries())
+	}
+	if card, ok := b.Cardinality("car"); !ok || card != 5000 {
+		t.Errorf("card = %v, %v", card, ok)
+	}
+	if ndv, ok := b.ColumnNDV("car", "make"); !ok || ndv != 10 {
+		t.Errorf("ndv = %v, %v", ndv, ok)
+	}
+	// Identical estimates before and after.
+	for _, preds := range [][]qgm.Predicate{
+		{gtPred("year", 2000)},
+		{gtPred("year", 2005)},
+		{eqPred("make", "Toyota")},
+		{{Column: "make", Op: qgm.OpIn, Values: []value.Datum{value.NewString("Kia")}}},
+	} {
+		sa, ka, oka := a.GroupSelectivity("car", preds, 9)
+		sb, kb, okb := b.GroupSelectivity("car", preds, 9)
+		if oka != okb || ka != kb || math.Abs(sa-sb) > 1e-12 {
+			t.Errorf("preds %v: (%v,%q,%v) vs (%v,%q,%v)", preds, sa, ka, oka, sb, kb, okb)
+		}
+	}
+}
+
+func TestLoadedArchiveStillUpdates(t *testing.T) {
+	a := populatedArchive(t)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadArchive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New constraints must merge into the restored histograms (the
+	// constraint list survived the round trip).
+	domains := map[string]ColumnDomain{"year": intDomain(1990, 2010)}
+	b.Materialize("car", []qgm.Predicate{gtPred("year", 2005)}, 0.1, 5, domains)
+	sel, _, ok := b.GroupSelectivity("car", []qgm.Predicate{gtPred("year", 2005)}, 6)
+	if !ok || math.Abs(sel-0.1) > 0.01 {
+		t.Errorf("post-restore update sel = %v, %v", sel, ok)
+	}
+	// The older constraint is still honored.
+	sel, _, ok = b.GroupSelectivity("car", []qgm.Predicate{gtPred("year", 2000)}, 7)
+	if !ok || math.Abs(sel-0.4) > 0.02 {
+		t.Errorf("older constraint sel = %v, %v", sel, ok)
+	}
+}
+
+func TestLoadArchiveRejectsCorruption(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       `{{{`,
+		"wrong version": `{"version": 99}`,
+		"bad histogram": `{"version":1,"grids":[{"key":"t(a)","cols":["a"],"units":{"a":1},"hist":{"cols":["a"],"cuts":[[0]],"mass":[1],"ts":[0]}}]}`,
+		"bad mass":      `{"version":1,"grids":[{"key":"t(a)","cols":["a"],"units":{"a":1},"hist":{"cols":["a"],"cuts":[[0,1]],"mass":[5],"ts":[0]}}]}`,
+	}
+	for name, payload := range cases {
+		if _, err := LoadArchive(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestJITSRestoreArchive(t *testing.T) {
+	j := New(DefaultConfig(), nil, nil)
+	a := populatedArchive(t)
+	j.RestoreArchive(a)
+	if j.Archive() != a {
+		t.Error("RestoreArchive did not swap the archive")
+	}
+	var buf bytes.Buffer
+	if err := j.SaveArchive(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("SaveArchive wrote nothing")
+	}
+}

@@ -1,0 +1,93 @@
+// Package costmodel defines the engine's deterministic work accounting.
+//
+// The paper reports wall-clock seconds measured on a DB2 testbed we cannot
+// reproduce; this engine instead meters *work units* accrued from the actual
+// operations each component performs — rows scanned, hash probes, sample
+// rows evaluated, plan candidates costed. Because the executor charges for
+// work it really does, a plan picked from bad estimates genuinely accrues
+// more units (larger intermediate results, wrong access paths), so the
+// relative shapes of the paper's experiments survive while results stay
+// deterministic and laptop-scale. Reported "seconds" are units scaled by a
+// fixed calibration constant.
+package costmodel
+
+import "sync"
+
+// Weights price one unit of each primitive operation. They are expressed
+// relative to a sequential row touch = 1.
+type Weights struct {
+	SeqRow        float64 // sequential scan, per row
+	IndexProbe    float64 // per index lookup (binary search)
+	IndexRow      float64 // per row fetched through an index (random access)
+	HashBuild     float64 // hash-join build, per row
+	HashProbe     float64 // hash-join probe, per row
+	SortRow       float64 // per row per comparison level
+	RowOut        float64 // per row emitted by an operator
+	SampleRow     float64 // statistics collection, per sampled row
+	PredEval      float64 // per predicate evaluation over a sample row
+	PlanCandidate float64 // optimizer, per plan alternative costed
+	RunstatsRow   float64 // full statistics collection, per row per column
+	HistUpdate    float64 // QSS archive maintenance, per touched bucket
+}
+
+// DefaultWeights reflect a disk-backed engine like the paper's DB2 testbed:
+// random access costs roughly an order of magnitude more than a sequential
+// touch (a B-tree probe descends several pages), hashing sits slightly
+// above a raw touch, and metadata work is far cheaper than data work.
+func DefaultWeights() Weights {
+	return Weights{
+		SeqRow:        1.0,
+		IndexProbe:    25.0,
+		IndexRow:      10.0,
+		HashBuild:     1.5,
+		HashProbe:     1.0,
+		SortRow:       0.4,
+		RowOut:        0.2,
+		SampleRow:     1.2,
+		PredEval:      0.15,
+		PlanCandidate: 6.0,
+		RunstatsRow:   0.6,
+		HistUpdate:    0.8,
+	}
+}
+
+// SecondsPerUnit converts accumulated work units into reported "seconds".
+// The constant is calibrated so a full scan of the paper-scale ACCIDENTS
+// table (4.3M rows) costs on the order of tens of seconds, matching the
+// magnitude of the paper's Table 3.
+const SecondsPerUnit = 1e-5
+
+// Meter accumulates work units. It is safe for concurrent use; the engine
+// keeps separate meters for compilation and execution so the two phases can
+// be reported independently, as the paper does.
+type Meter struct {
+	mu    sync.Mutex
+	units float64
+}
+
+// Add accrues units of work.
+func (m *Meter) Add(units float64) {
+	if units == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.units += units
+	m.mu.Unlock()
+}
+
+// Units returns the total accumulated work.
+func (m *Meter) Units() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.units
+}
+
+// Seconds converts the accumulated work into calibrated seconds.
+func (m *Meter) Seconds() float64 { return m.Units() * SecondsPerUnit }
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	m.units = 0
+	m.mu.Unlock()
+}

@@ -1,0 +1,57 @@
+package costmodel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMeterBasics(t *testing.T) {
+	var m Meter
+	if m.Units() != 0 {
+		t.Error("fresh meter not zero")
+	}
+	m.Add(100)
+	m.Add(0) // no-op fast path
+	m.Add(50)
+	if m.Units() != 150 {
+		t.Errorf("Units = %v", m.Units())
+	}
+	if got := m.Seconds(); got != 150*SecondsPerUnit {
+		t.Errorf("Seconds = %v", got)
+	}
+	m.Reset()
+	if m.Units() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	var m Meter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Units() != 16000 {
+		t.Errorf("Units = %v, want 16000", m.Units())
+	}
+}
+
+func TestDefaultWeightsSane(t *testing.T) {
+	w := DefaultWeights()
+	if w.SeqRow != 1.0 {
+		t.Error("SeqRow must be the unit reference")
+	}
+	if w.IndexRow <= w.SeqRow {
+		t.Error("random access must cost more than sequential")
+	}
+	if w.PlanCandidate <= 0 || w.SampleRow <= 0 || w.RunstatsRow <= 0 {
+		t.Error("all weights must be positive")
+	}
+}

@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestConcurrentQueries runs read-only queries from many goroutines against
+// one engine with JITS enabled: results must stay correct and no data race
+// may fire (run under -race in CI).
+func TestConcurrentQueries(t *testing.T) {
+	e := seedEngine(t, Config{JITS: core.DefaultConfig()})
+	queries := []string{
+		`SELECT COUNT(*) FROM car WHERE make = 'Toyota'`,
+		`SELECT COUNT(*) FROM owner WHERE city = 'Ottawa'`,
+		`SELECT c.id FROM car c, owner o WHERE c.ownerid = o.id AND o.city = 'Boston' LIMIT 5`,
+		`SELECT make, COUNT(*) FROM car GROUP BY make`,
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, err := e.Exec(queries[(w+i)%len(queries)]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Counting queries must still be exact afterwards.
+	res := mustExec(t, e, `SELECT COUNT(*) FROM car WHERE make = 'Toyota'`)
+	if res.Rows[0][0].Int() != 600 {
+		t.Errorf("count = %v, want 600", res.Rows[0][0])
+	}
+}
+
+func TestAutoMigration(t *testing.T) {
+	cfg := Config{JITS: core.DefaultConfig(), MigrateEvery: 3}
+	cfg.JITS.ForceCollect = true
+	e := seedEngine(t, cfg)
+	for i := 0; i < 2; i++ {
+		mustExec(t, e, `SELECT id FROM car WHERE year > 2000`)
+	}
+	if ts, ok := e.Catalog().TableStats("car"); ok && ts.Columns["year"] != nil && ts.Columns["year"].Hist != nil {
+		t.Fatal("migration ran before the interval elapsed")
+	}
+	mustExec(t, e, `SELECT id FROM car WHERE year > 2000`) // third SELECT triggers it
+	ts, ok := e.Catalog().TableStats("car")
+	if !ok || ts.Columns["year"] == nil || ts.Columns["year"].Hist == nil {
+		t.Fatal("auto-migration did not populate the catalog")
+	}
+}

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/qgm"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// coerce adapts a literal to the column kind where SQL does implicitly:
+// integer literals store into FLOAT columns as floats. Anything else is
+// left for storage-level validation to accept or reject.
+func coerce(d value.Datum, kind value.Kind) value.Datum {
+	if kind == value.KindFloat && d.Kind() == value.KindInt {
+		return value.NewFloat(float64(d.Int()))
+	}
+	return d
+}
+
+// execInsert appends rows; the workload's update stream flows through here
+// and feeds the UDI counters the sensitivity analysis watches.
+func (e *Engine) execInsert(stmt *sqlparser.InsertStmt) (*Result, error) {
+	e.tick()
+	tbl, ok := e.db.Table(stmt.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: table %q does not exist", stmt.Table)
+	}
+	schema := tbl.Schema()
+
+	var ordinals []int
+	if len(stmt.Columns) > 0 {
+		ordinals = make([]int, len(stmt.Columns))
+		for i, c := range stmt.Columns {
+			o, ok := schema.Ordinal(c)
+			if !ok {
+				return nil, fmt.Errorf("engine: table %s has no column %q", stmt.Table, c)
+			}
+			ordinals[i] = o
+		}
+	}
+
+	var meter costmodel.Meter
+	rows := make([][]value.Datum, 0, len(stmt.Rows))
+	for _, vals := range stmt.Rows {
+		row := make([]value.Datum, schema.NumColumns())
+		if ordinals == nil {
+			if len(vals) != schema.NumColumns() {
+				return nil, fmt.Errorf("engine: INSERT has %d values, table %s has %d columns",
+					len(vals), stmt.Table, schema.NumColumns())
+			}
+			for i, v := range vals {
+				row[i] = coerce(v, schema.Column(i).Kind)
+			}
+		} else {
+			if len(vals) != len(ordinals) {
+				return nil, fmt.Errorf("engine: INSERT has %d values for %d columns", len(vals), len(ordinals))
+			}
+			for i, v := range vals {
+				row[ordinals[i]] = coerce(v, schema.Column(ordinals[i]).Kind)
+			}
+		}
+		rows = append(rows, row)
+	}
+	if err := tbl.InsertBatch(rows); err != nil {
+		return nil, err
+	}
+	meter.Add(e.weights.RowOut * float64(len(rows)))
+	return e.dmlResult(len(rows), &meter), nil
+}
+
+// resolveWhere compiles a DML WHERE conjunction against one table.
+func resolveWhere(tbl *storage.Table, where []sqlparser.Expr) (func(row []value.Datum) bool, error) {
+	preds, err := qgm.BuildLocalPredicates(tbl.Schema(), where)
+	if err != nil {
+		return nil, err
+	}
+	return func(row []value.Datum) bool {
+		for _, p := range preds {
+			if !p.Matches(row) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+func (e *Engine) execUpdate(stmt *sqlparser.UpdateStmt) (*Result, error) {
+	e.tick()
+	tbl, ok := e.db.Table(stmt.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: table %q does not exist", stmt.Table)
+	}
+	schema := tbl.Schema()
+	type setOp struct {
+		ord int
+		val value.Datum
+	}
+	sets := make([]setOp, len(stmt.Assignments))
+	for i, a := range stmt.Assignments {
+		o, ok := schema.Ordinal(a.Column)
+		if !ok {
+			return nil, fmt.Errorf("engine: table %s has no column %q", stmt.Table, a.Column)
+		}
+		sets[i] = setOp{ord: o, val: coerce(a.Value, schema.Column(o).Kind)}
+	}
+	match, err := resolveWhere(tbl, stmt.Where)
+	if err != nil {
+		return nil, err
+	}
+	var meter costmodel.Meter
+	meter.Add(e.weights.SeqRow * float64(tbl.RowCount()))
+	n, err := tbl.UpdateWhere(match, func(row []value.Datum) {
+		for _, s := range sets {
+			row[s.ord] = s.val
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.dmlResult(n, &meter), nil
+}
+
+func (e *Engine) execDelete(stmt *sqlparser.DeleteStmt) (*Result, error) {
+	e.tick()
+	tbl, ok := e.db.Table(stmt.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: table %q does not exist", stmt.Table)
+	}
+	match, err := resolveWhere(tbl, stmt.Where)
+	if err != nil {
+		return nil, err
+	}
+	var meter costmodel.Meter
+	meter.Add(e.weights.SeqRow * float64(tbl.RowCount()))
+	n := tbl.DeleteWhere(match)
+	return e.dmlResult(n, &meter), nil
+}
+
+func (e *Engine) execCreateTable(stmt *sqlparser.CreateTableStmt) (*Result, error) {
+	e.tick()
+	cols := make([]storage.Column, len(stmt.Columns))
+	for i, c := range stmt.Columns {
+		cols[i] = storage.Column{Name: c.Name, Kind: c.Kind}
+	}
+	schema, err := storage.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.db.CreateTable(stmt.Name, schema); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (e *Engine) execCreateIndex(stmt *sqlparser.CreateIndexStmt) (*Result, error) {
+	e.tick()
+	tbl, ok := e.db.Table(stmt.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: table %q does not exist", stmt.Table)
+	}
+	if _, err := e.indexes.Create(stmt.Name, tbl, stmt.Column); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (e *Engine) dmlResult(n int, meter *costmodel.Meter) *Result {
+	m := Metrics{
+		ExecUnits:   meter.Units(),
+		ExecSeconds: meter.Seconds(),
+	}
+	m.TotalSeconds = m.ExecSeconds
+	return &Result{RowsAffected: n, Metrics: m}
+}

@@ -1,0 +1,524 @@
+// Package engine is the public facade of the database: it wires the SQL
+// front end, the Query Graph Model, the JITS framework, the cost-based
+// optimizer, the executor and the feedback loop into a single Exec call —
+// the equivalent of the paper's modified DB2 engine.
+//
+// Per SELECT statement the engine runs the paper's full pipeline:
+//
+//	parse → rewrite (QGM) → JITS Prepare (sensitivity analysis + sampling)
+//	      → optimize (QSS-aware estimation, join enumeration)
+//	      → execute (metered physical operators)
+//	      → feedback (actual vs. estimated selectivities → StatHistory)
+//
+// Compilation work (optimization and JITS statistics collection) and
+// execution work accrue on separate meters, so results report the same
+// compilation / execution / total split as the paper's Table 3.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/executor"
+	"repro/internal/feedback"
+	"repro/internal/index"
+	"repro/internal/optimizer"
+	"repro/internal/qgm"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Config configures a new engine instance.
+type Config struct {
+	// JITS configures the just-in-time statistics framework; the zero
+	// value disables it (traditional processing).
+	JITS core.Config
+	// Weights override the cost model; zero value selects defaults.
+	Weights costmodel.Weights
+	// MigrateEvery, when positive, runs the statistics-migration module
+	// automatically after every N SELECT statements — the paper's
+	// "information in the QSS archive can be used to periodically update
+	// the system catalog".
+	MigrateEvery int
+	// ReactiveCorrections enables a LEO-style *reactive* baseline (the
+	// related-work family of the paper's §5.1): after each query, observed
+	// actual selectivities are stored as exact-match corrections that
+	// benefit future queries with the same predicate groups. The current
+	// query still suffers from the wrong estimate — the paper's critique.
+	// Only consulted when JITS collection is disabled.
+	ReactiveCorrections bool
+	// Trace, when non-nil, receives one line per notable per-query decision:
+	// JITS collection choices with their s1/s2 scores, the chosen plan's
+	// root, and estimated-vs-actual selectivities observed by the feedback
+	// loop. Meant for debugging and for following the paper's pipeline live.
+	Trace io.Writer
+}
+
+// Metrics reports the simulated timing split of one statement.
+type Metrics struct {
+	CompileUnits   float64
+	ExecUnits      float64
+	CompileSeconds float64
+	ExecSeconds    float64
+	TotalSeconds   float64
+}
+
+// Result is the outcome of one Exec call.
+type Result struct {
+	Columns      []string
+	Rows         [][]value.Datum
+	RowsAffected int
+	Plan         string // EXPLAIN rendering of the chosen join tree
+	Metrics      Metrics
+	Prepare      *core.PrepareReport // JITS decisions, nil when disabled
+}
+
+// Engine is the database instance.
+type Engine struct {
+	mu           sync.Mutex
+	db           *storage.Database
+	cat          *catalog.Catalog
+	indexes      *index.Set
+	history      *feedback.History
+	jits         *core.JITS
+	weights      costmodel.Weights
+	clock        int64
+	migrateEvery int
+	selectCount  int64
+	trace        io.Writer
+
+	// staticQSS holds the "workload statistics" baseline: column-group
+	// statistics precollected from the workload text and never refreshed.
+	// Consulted only when JITS collection is disabled.
+	staticQSS *core.Archive
+	// reactiveQSS holds the LEO-style corrections store when
+	// ReactiveCorrections is enabled.
+	reactiveQSS *core.Archive
+}
+
+// New creates an empty engine.
+func New(cfg Config) *Engine {
+	w := cfg.Weights
+	if w == (costmodel.Weights{}) {
+		w = costmodel.DefaultWeights()
+	}
+	cat := catalog.New()
+	hist := feedback.NewHistory()
+	ixs := index.NewSet()
+	jits := core.New(cfg.JITS, hist, cat)
+	jits.BindIndexes(ixs)
+	e := &Engine{
+		db:           storage.NewDatabase(),
+		cat:          cat,
+		indexes:      ixs,
+		history:      hist,
+		jits:         jits,
+		weights:      w,
+		migrateEvery: cfg.MigrateEvery,
+		trace:        cfg.Trace,
+	}
+	if cfg.ReactiveCorrections {
+		e.reactiveQSS = core.NewArchive(0, 0)
+	}
+	return e
+}
+
+// DB exposes the storage layer (the data generator loads tables directly).
+func (e *Engine) DB() *storage.Database { return e.db }
+
+// Catalog exposes the system catalog.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Indexes exposes the index registry.
+func (e *Engine) Indexes() *index.Set { return e.indexes }
+
+// History exposes the feedback StatHistory.
+func (e *Engine) History() *feedback.History { return e.history }
+
+// JITS exposes the framework coordinator (experiments tune s_max on it).
+func (e *Engine) JITS() *core.JITS { return e.jits }
+
+// Weights returns the active cost-model weights.
+func (e *Engine) Weights() costmodel.Weights { return e.weights }
+
+// tick advances and returns the engine's logical clock. Every statement
+// gets a fresh timestamp; histogram buckets and statistics carry these.
+func (e *Engine) tick() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clock++
+	return e.clock
+}
+
+// Now returns the current logical time without advancing it.
+func (e *Engine) Now() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.clock
+}
+
+// tracef writes one trace line when tracing is enabled.
+func (e *Engine) tracef(format string, args ...any) {
+	if e.trace != nil {
+		fmt.Fprintf(e.trace, format+"\n", args...)
+	}
+}
+
+// TableSchema implements qgm.SchemaResolver.
+func (e *Engine) TableSchema(name string) (*storage.Schema, bool) {
+	tbl, ok := e.db.Table(name)
+	if !ok {
+		return nil, false
+	}
+	return tbl.Schema(), true
+}
+
+// Exec parses and runs one SQL statement.
+func (e *Engine) Exec(sql string) (*Result, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		return e.execSelect(s, sql, false)
+	case *sqlparser.ExplainStmt:
+		return e.execSelect(s.Select, sql, true)
+	case *sqlparser.InsertStmt:
+		return e.execInsert(s)
+	case *sqlparser.UpdateStmt:
+		return e.execUpdate(s)
+	case *sqlparser.DeleteStmt:
+		return e.execDelete(s)
+	case *sqlparser.CreateTableStmt:
+		return e.execCreateTable(s)
+	case *sqlparser.CreateIndexStmt:
+		return e.execCreateIndex(s)
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// staticSource adapts the precollected workload-statistics archive to the
+// optimizer's StatsSource interface.
+type staticSource struct {
+	archive *core.Archive
+	ts      int64
+}
+
+func (s *staticSource) GroupSelectivity(table string, preds []qgm.Predicate) (float64, string, bool) {
+	return s.archive.GroupSelectivity(table, preds, s.ts)
+}
+
+func (s *staticSource) Cardinality(table string) (int64, bool) {
+	return s.archive.Cardinality(table)
+}
+
+func (s *staticSource) ColumnNDV(table, column string) (int64, bool) {
+	return s.archive.ColumnNDV(table, column)
+}
+
+// execSelect runs the full SELECT pipeline. With explainOnly the statement
+// compiles — including any JITS statistics collection, whose cost shows up
+// in the metrics — but does not execute: the result carries the plan text
+// as rows, one per line.
+func (e *Engine) execSelect(stmt *sqlparser.SelectStmt, sql string, explainOnly bool) (*Result, error) {
+	ts := e.tick()
+	var compileMeter, execMeter costmodel.Meter
+
+	q, err := qgm.Build(stmt, e)
+	if err != nil {
+		return nil, err
+	}
+	q.SQL = sql
+	blk := q.Blocks[0]
+
+	// JITS compile-time statistics collection.
+	qstats, prep, err := e.jits.Prepare(q, e.db, ts, &compileMeter, e.weights)
+	if err != nil {
+		return nil, err
+	}
+	if e.trace != nil && prep != nil {
+		for _, tr := range prep.Tables {
+			e.tracef("q%d jits %s collected=%v s1=%.3f s2=%.3f sample=%d groups=%d materialized=%d",
+				ts, tr.Table, tr.Collected, tr.Scores.S1, tr.Scores.S2,
+				tr.SampleRows, tr.GroupsEvaluated, tr.GroupsMaterialized)
+		}
+	}
+	var source optimizer.StatsSource
+	switch {
+	case qstats != nil:
+		source = qstats
+	case e.staticQSS != nil:
+		source = &staticSource{archive: e.staticQSS, ts: ts}
+	case e.reactiveQSS != nil:
+		source = &staticSource{archive: e.reactiveQSS, ts: ts}
+	}
+
+	ctx := &optimizer.Context{
+		Est:     &optimizer.Estimator{Cat: e.cat, QSS: source},
+		Indexes: e.indexes,
+		Weights: e.weights,
+		Meter:   &compileMeter,
+	}
+
+	// Execute IN-subquery blocks first and lower each semi-join into an IN
+	// predicate on the outer block, so the outer optimization sees the
+	// materialized match set.
+	var subPlans []string
+	var subActuals []executor.ScanActual
+	for _, sj := range blk.SemiJoins {
+		inner := q.Blocks[sj.Block]
+		innerPlan, err := optimizer.Optimize(inner, ctx)
+		if err != nil {
+			return nil, err
+		}
+		subPlans = append(subPlans, optimizer.Explain(innerPlan))
+		if explainOnly {
+			continue
+		}
+		rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter}
+		innerRes, err := executor.Execute(inner, innerPlan, rt)
+		if err != nil {
+			return nil, err
+		}
+		subActuals = append(subActuals, innerRes.Actuals...)
+		seen := make(map[value.Datum]bool, len(innerRes.Rows))
+		values := make([]value.Datum, 0, len(innerRes.Rows))
+		for _, row := range innerRes.Rows {
+			d := row[0]
+			if d.IsNull() || seen[d] {
+				continue
+			}
+			seen[d] = true
+			values = append(values, d)
+		}
+		blk.LocalPreds[sj.Slot] = append(blk.LocalPreds[sj.Slot], qgm.Predicate{
+			Slot: sj.Slot, Column: sj.Column, Ordinal: sj.Ordinal,
+			Op: qgm.OpIn, Values: values,
+		})
+	}
+
+	plan, err := optimizer.Optimize(blk, ctx)
+	if err != nil {
+		return nil, err
+	}
+	planText := optimizer.Explain(plan)
+	for i, sp := range subPlans {
+		planText += fmt.Sprintf("Subquery %d:\n%s", i+1, sp)
+	}
+
+	if explainOnly {
+		explain := planText
+		var rows [][]value.Datum
+		for _, line := range strings.Split(strings.TrimRight(explain, "\n"), "\n") {
+			rows = append(rows, []value.Datum{value.NewString(line)})
+		}
+		m := Metrics{CompileUnits: compileMeter.Units(), CompileSeconds: compileMeter.Seconds()}
+		m.TotalSeconds = m.CompileSeconds
+		return &Result{
+			Columns: []string{"plan"},
+			Rows:    rows,
+			Plan:    explain,
+			Metrics: m,
+			Prepare: prep,
+		}, nil
+	}
+
+	rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter}
+	res, err := executor.Execute(blk, plan, rt)
+	if err != nil {
+		return nil, err
+	}
+
+	// LEO-style feedback: estimated vs. actual local-group selectivities,
+	// from the outer plan and any subquery plans.
+	var obs []core.Observation
+	for _, a := range append(subActuals, res.Actuals...) {
+		if a.Trace == nil || a.Conditioned {
+			continue
+		}
+		obs = append(obs, core.Observation{
+			Table:     a.Trace.Table,
+			ColGrp:    a.Trace.ColGrp,
+			StatList:  a.Trace.StatList,
+			EstSel:    a.Trace.EstSel,
+			ActualSel: a.ActualSelectivity(),
+			BaseCard:  int64(a.BaseRows),
+		})
+		e.tracef("q%d feedback %s est=%.5f actual=%.5f stats=%v",
+			ts, a.Trace.ColGrp, a.Trace.EstSel, a.ActualSelectivity(), a.Trace.StatList)
+	}
+	e.jits.Feedback(obs)
+	e.tracef("q%d plan rows=%.1f cost=%.0f exec=%.4fs compile=%.4fs",
+		ts, plan.Rows(), plan.Cost(), execMeter.Seconds(), compileMeter.Seconds())
+
+	// Reactive corrections (LEO baseline): record the *observed*
+	// selectivity of each local predicate group for future queries. Without
+	// sample domains these land in the exact-match memo — precisely LEO's
+	// granularity of adjustment.
+	if e.reactiveQSS != nil {
+		for slot, preds := range blk.LocalPreds {
+			if len(preds) == 0 {
+				continue
+			}
+			for _, a := range res.Actuals {
+				if a.Slot == slot && !a.Conditioned {
+					e.reactiveQSS.Materialize(blk.Tables[slot].Table, preds, a.ActualSelectivity(), ts, nil)
+					e.reactiveQSS.SetCardinality(blk.Tables[slot].Table, int64(a.BaseRows), ts)
+				}
+			}
+		}
+	}
+
+	// Periodic statistics migration into the catalog.
+	if e.migrateEvery > 0 {
+		e.mu.Lock()
+		e.selectCount++
+		due := e.selectCount%int64(e.migrateEvery) == 0
+		e.mu.Unlock()
+		if due {
+			e.jits.MigrateToCatalog(ts)
+		}
+	}
+
+	m := Metrics{
+		CompileUnits:   compileMeter.Units(),
+		ExecUnits:      execMeter.Units(),
+		CompileSeconds: compileMeter.Seconds(),
+		ExecSeconds:    execMeter.Seconds(),
+	}
+	m.TotalSeconds = m.CompileSeconds + m.ExecSeconds
+	return &Result{
+		Columns: res.Columns,
+		Rows:    res.Rows,
+		Plan:    planText,
+		Metrics: m,
+		Prepare: prep,
+	}, nil
+}
+
+// RunstatsAll collects general (basic + distribution) statistics on every
+// table — the paper's "general statistics" baseline setting.
+func (e *Engine) RunstatsAll() error {
+	ts := e.tick()
+	var m costmodel.Meter
+	for _, name := range e.db.TableNames() {
+		tbl, _ := e.db.Table(name)
+		stats, err := catalog.Runstats(tbl, ts, catalog.RunstatsOptions{}, &m, e.weights)
+		if err != nil {
+			return err
+		}
+		e.cat.SetTableStats(stats)
+	}
+	return nil
+}
+
+// CollectWorkloadStats precollects exact column-group statistics for every
+// predicate group occurring in the given workload — the paper's "workload
+// statistics" baseline: "if the workload information is available, it can
+// be analyzed and all the needed statistics can be collected beforehand".
+// The statistics are computed from the *current* data by full scans and
+// never refreshed, so subsequent updates silently stale them.
+func (e *Engine) CollectWorkloadStats(sqls []string) error {
+	ts := e.tick()
+	archive := core.NewArchive(0, 0)
+	var m costmodel.Meter // setup cost, not charged to any query
+	for _, sql := range sqls {
+		stmt, err := sqlparser.Parse(sql)
+		if err != nil {
+			continue // workloads may contain DML; skip anything unparsable as SELECT
+		}
+		sel, ok := stmt.(*sqlparser.SelectStmt)
+		if !ok {
+			continue
+		}
+		q, err := qgm.Build(sel, e)
+		if err != nil {
+			continue
+		}
+		for _, tc := range core.AnalyzeQuery(q, 0) {
+			tbl, ok := e.db.Table(tc.Table)
+			if !ok {
+				continue
+			}
+			card := tbl.RowCount()
+			archive.SetCardinality(tc.Table, int64(card), ts)
+			if card == 0 {
+				continue
+			}
+			// Exact evaluation by full scan.
+			rows := make([][]value.Datum, 0, card)
+			tbl.Scan(func(_ int, row []value.Datum) bool {
+				rows = append(rows, append([]value.Datum(nil), row...))
+				return true
+			})
+			m.Add(e.weights.SeqRow * float64(len(rows)))
+			domains := core.SampleDomains(tbl.Schema(), rows)
+			schema := tbl.Schema()
+			for c := 0; c < schema.NumColumns(); c++ {
+				distinct := make(map[value.Datum]bool, card)
+				for _, row := range rows {
+					if !row[c].IsNull() {
+						distinct[row[c]] = true
+					}
+				}
+				if len(distinct) > 0 {
+					archive.SetColumnNDV(tc.Table, schema.Column(c).Name, int64(len(distinct)), ts)
+				}
+			}
+			for _, g := range tc.Groups {
+				count := 0
+				for _, row := range rows {
+					match := true
+					for _, p := range g {
+						if !p.Matches(row) {
+							match = false
+							break
+						}
+					}
+					if match {
+						count++
+					}
+				}
+				archive.Materialize(tc.Table, g, float64(count)/float64(card), ts, domains)
+			}
+		}
+	}
+	e.staticQSS = archive
+	return nil
+}
+
+// WorkloadStatsArchive exposes the static baseline archive (nil unless
+// CollectWorkloadStats ran).
+func (e *Engine) WorkloadStatsArchive() *core.Archive { return e.staticQSS }
+
+// MigrateStats pushes archived 1-D QSS histograms into the catalog — the
+// periodic statistics-migration step.
+func (e *Engine) MigrateStats() int {
+	return e.jits.MigrateToCatalog(e.tick())
+}
+
+// SaveStatistics serializes the QSS archive so a later engine instance can
+// restore it (the archive persists inside the catalog in the paper's DB2
+// prototype).
+func (e *Engine) SaveStatistics(w io.Writer) error {
+	return e.jits.SaveArchive(w)
+}
+
+// LoadStatistics restores a QSS archive previously written by
+// SaveStatistics, replacing the current one.
+func (e *Engine) LoadStatistics(r io.Reader) error {
+	a, err := core.LoadArchive(r)
+	if err != nil {
+		return err
+	}
+	e.jits.RestoreArchive(a)
+	return nil
+}

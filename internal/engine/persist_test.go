@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestStatisticsSurviveRestart(t *testing.T) {
+	// Session 1: JITS collects and materializes statistics.
+	cfg := Config{JITS: core.DefaultConfig()}
+	cfg.JITS.ForceCollect = true
+	e1 := seedEngine(t, cfg)
+	mustExec(t, e1, `SELECT id FROM car WHERE make = 'Toyota' AND model = 'Camry'`)
+	if e1.JITS().Archive().Histograms() == 0 {
+		t.Fatal("nothing materialized")
+	}
+	var buf bytes.Buffer
+	if err := e1.SaveStatistics(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 2: a fresh engine (JITS collection disabled so only the
+	// restored archive can inform the plan) restores the statistics.
+	cfg2 := Config{JITS: core.DefaultConfig()}
+	cfg2.JITS.SMax = 1 // never collect: estimates must come from the archive
+	e2 := seedEngine(t, cfg2)
+	if err := e2.LoadStatistics(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	res := mustExec(t, e2, `EXPLAIN SELECT id FROM car WHERE make = 'Toyota' AND model = 'Camry'`)
+	if !strings.Contains(res.Plan, "rows=400") {
+		t.Errorf("restored archive should inform the estimate (rows=400):\n%s", res.Plan)
+	}
+}
+
+func TestLoadStatisticsRejectsGarbage(t *testing.T) {
+	e := New(Config{})
+	if err := e.LoadStatistics(strings.NewReader("not json")); err == nil {
+		t.Error("garbage must be rejected")
+	}
+}

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReactiveCorrectionsHelpRepeatedQueries reproduces the LEO dynamic the
+// paper describes in §5.1: the first execution of a query suffers from the
+// wrong estimate, the observed error corrects the statistics, and the same
+// query later gets an accurate estimate.
+func TestReactiveCorrectionsHelpRepeatedQueries(t *testing.T) {
+	e := seedEngine(t, Config{ReactiveCorrections: true})
+	if err := e.RunstatsAll(); err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT id FROM car WHERE make = 'Toyota' AND model = 'Camry'`
+
+	first := mustExec(t, e, q)
+	// General statistics under independence: 0.6 × 0.4 × 1000 = 240.
+	if !strings.Contains(first.Plan, "rows=240") {
+		t.Errorf("first run should use the independence estimate:\n%s", first.Plan)
+	}
+	second := mustExec(t, e, q)
+	// The correction recorded the actual selectivity (0.4 → 400 rows).
+	if !strings.Contains(second.Plan, "rows=400") {
+		t.Errorf("second run should use the corrected estimate:\n%s", second.Plan)
+	}
+}
+
+// TestReactiveCorrectionsMissDifferentConstants shows the paper's critique:
+// exact-match corrections do not generalize, so "ad hoc unrelated queries"
+// see no benefit.
+func TestReactiveCorrectionsMissDifferentConstants(t *testing.T) {
+	e := seedEngine(t, Config{ReactiveCorrections: true})
+	if err := e.RunstatsAll(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, e, `SELECT id FROM car WHERE make = 'Toyota' AND model = 'Camry'`)
+	// A different pair still runs on the independence assumption.
+	res := mustExec(t, e, `SELECT id FROM car WHERE make = 'Honda' AND model = 'Civic'`)
+	if strings.Contains(res.Plan, "rows=200.0") { // the true count
+		t.Errorf("different constants must not inherit the correction:\n%s", res.Plan)
+	}
+}
+
+// TestReactiveCorrectionsGoStale: after the data changes, the stored
+// correction keeps answering with the old value until the query runs again
+// — reactive stores lag the data, unlike JITS recollection.
+func TestReactiveCorrectionsGoStale(t *testing.T) {
+	e := seedEngine(t, Config{ReactiveCorrections: true})
+	if err := e.RunstatsAll(); err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT id FROM car WHERE make = 'Toyota' AND model = 'Camry'`
+	mustExec(t, e, q)
+	mustExec(t, e, `DELETE FROM car WHERE model = 'Camry'`)
+	res := mustExec(t, e, q)
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Estimate still claims 400 rows: the correction is stale.
+	if !strings.Contains(res.Plan, "rows=400") {
+		t.Errorf("correction should still claim the old selectivity:\n%s", res.Plan)
+	}
+}

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestInSubqueryBasic(t *testing.T) {
+	e := seedEngine(t, Config{})
+	// Cars owned by owners in Ottawa — cross-checked against the join form.
+	sub := mustExec(t, e, `SELECT id FROM car WHERE ownerid IN (SELECT id FROM owner WHERE city = 'Ottawa')`)
+	join := mustExec(t, e, `SELECT c.id FROM car c, owner o WHERE c.ownerid = o.id AND o.city = 'Ottawa'`)
+	if len(sub.Rows) == 0 {
+		t.Fatal("subquery form returned nothing")
+	}
+	if len(sub.Rows) != len(join.Rows) {
+		t.Errorf("subquery %d rows vs join %d rows", len(sub.Rows), len(join.Rows))
+	}
+	if !strings.Contains(sub.Plan, "Subquery 1:") {
+		t.Errorf("plan missing subquery section:\n%s", sub.Plan)
+	}
+}
+
+func TestInSubqueryEmptyInner(t *testing.T) {
+	e := seedEngine(t, Config{})
+	res := mustExec(t, e, `SELECT id FROM car WHERE ownerid IN (SELECT id FROM owner WHERE city = 'Atlantis')`)
+	if len(res.Rows) != 0 {
+		t.Errorf("rows = %d, want 0 for empty inner result", len(res.Rows))
+	}
+}
+
+func TestInSubqueryWithAggregateInner(t *testing.T) {
+	e := seedEngine(t, Config{})
+	// Owners whose id equals the maximum car ownerid — a 1-value set.
+	res := mustExec(t, e, `SELECT id FROM owner WHERE id IN (SELECT MAX(ownerid) FROM car)`)
+	if len(res.Rows) != 1 {
+		t.Errorf("rows = %d, want 1", len(res.Rows))
+	}
+	if res.Rows[0][0].Int() != 199 {
+		t.Errorf("id = %v, want 199", res.Rows[0][0])
+	}
+}
+
+func TestInSubqueryJITSAnalyzesBothBlocks(t *testing.T) {
+	cfg := Config{JITS: core.DefaultConfig()}
+	cfg.JITS.ForceCollect = true
+	e := seedEngine(t, cfg)
+	res := mustExec(t, e, `SELECT id FROM car WHERE make = 'Toyota' AND ownerid IN (SELECT id FROM owner WHERE city = 'Ottawa')`)
+	// Both blocks carry local predicates, so both tables get sampled —
+	// Algorithm 1 iterates over all query blocks.
+	if res.Prepare == nil || res.Prepare.CollectedTables() != 2 {
+		t.Fatalf("prepare = %+v, want 2 tables collected", res.Prepare)
+	}
+}
+
+func TestInSubqueryErrors(t *testing.T) {
+	e := seedEngine(t, Config{})
+	cases := map[string]string{
+		`SELECT id FROM car WHERE ownerid IN (SELECT id, name FROM owner)`:                              "exactly one column",
+		`SELECT id FROM car WHERE ownerid IN (SELECT * FROM owner)`:                                     "exactly one column",
+		`SELECT id FROM car WHERE ownerid IN (SELECT id FROM owner WHERE id IN (SELECT id FROM owner))`: "nested subqueries",
+	}
+	for sql, want := range cases {
+		_, err := e.Exec(sql)
+		if err == nil {
+			t.Errorf("%q: expected error", sql)
+			continue
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("%q: error = %v, want %q", sql, err, want)
+		}
+	}
+}
+
+func TestInSubqueryDuplicateInnerValues(t *testing.T) {
+	e := seedEngine(t, Config{})
+	// Inner result has massive duplication (200 owners × 5 cars each); the
+	// semi-join must still return each outer row at most once.
+	res := mustExec(t, e, `SELECT id FROM owner WHERE id IN (SELECT ownerid FROM car)`)
+	if len(res.Rows) != 200 {
+		t.Errorf("rows = %d, want 200 distinct owners", len(res.Rows))
+	}
+}
+
+func TestExplainSubquery(t *testing.T) {
+	e := seedEngine(t, Config{})
+	res := mustExec(t, e, `EXPLAIN SELECT id FROM car WHERE ownerid IN (SELECT id FROM owner WHERE city = 'Ottawa')`)
+	if !strings.Contains(res.Plan, "Subquery 1:") {
+		t.Errorf("explain missing subquery plan:\n%s", res.Plan)
+	}
+	if res.Metrics.ExecSeconds != 0 {
+		t.Errorf("EXPLAIN must not execute the subquery: %v", res.Metrics.ExecSeconds)
+	}
+}

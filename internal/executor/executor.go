@@ -1,0 +1,847 @@
+// Package executor runs optimized plans against storage. It implements the
+// physical operators the optimizer chooses among — table scan, index range
+// scan, hash join, index nested-loop join, plain nested loops — plus the
+// block-level finishing operators (grouping/aggregation, DISTINCT, ORDER BY,
+// LIMIT, projection).
+//
+// Two responsibilities matter for the paper's pipeline beyond producing
+// correct rows. First, every operator charges the execution meter for the
+// work it *actually* performs, so a plan chosen from bad estimates genuinely
+// costs more simulated time. Second, each base-table access records its
+// actual cardinalities (the monitoring LEO does along plan edges), which the
+// engine turns into StatHistory error factors after the query completes.
+package executor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/costmodel"
+	"repro/internal/index"
+	"repro/internal/optimizer"
+	"repro/internal/qgm"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Runtime bundles the execution environment.
+type Runtime struct {
+	DB      *storage.Database
+	Indexes *index.Set
+	Weights costmodel.Weights
+	Meter   *costmodel.Meter
+}
+
+func (rt *Runtime) charge(units float64) {
+	if rt.Meter != nil {
+		rt.Meter.Add(units)
+	}
+}
+
+// ScanActual reports what one base-table access really saw — the raw
+// material for query feedback.
+type ScanActual struct {
+	Slot     int
+	Table    string
+	Alias    string
+	BaseRows float64 // table cardinality at execution time
+	Examined float64 // rows touched (fetched through the access path)
+	Matched  float64 // rows surviving all local predicates
+	// Conditioned marks index nested-loop inner scans, where the examined
+	// rows are already filtered by the join key: Matched/Examined then
+	// approximates the local selectivity conditioned on the join.
+	Conditioned bool
+	Trace       *optimizer.Trace
+}
+
+// ActualSelectivity returns the observed selectivity of the scan's local
+// predicate group.
+func (a ScanActual) ActualSelectivity() float64 {
+	if a.Conditioned {
+		if a.Examined == 0 {
+			return 0
+		}
+		return a.Matched / a.Examined
+	}
+	if a.BaseRows == 0 {
+		return 0
+	}
+	return a.Matched / a.BaseRows
+}
+
+// Result is the outcome of executing a block.
+type Result struct {
+	Columns []string
+	Rows    [][]value.Datum
+	Actuals []ScanActual
+}
+
+// relation is an intermediate result: concatenated base-table rows with a
+// map from table slot to column offset.
+type relation struct {
+	offsets map[int]int
+	widths  map[int]int
+	width   int
+	rows    [][]value.Datum
+}
+
+func (r *relation) col(slot, ordinal int) int { return r.offsets[slot] + ordinal }
+
+// Execute runs the plan and applies the block's finishing operators.
+func Execute(blk *qgm.Block, plan optimizer.Node, rt *Runtime) (*Result, error) {
+	ex := &executor{blk: blk, rt: rt}
+	rel, err := ex.run(plan)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ex.finish(rel)
+	if err != nil {
+		return nil, err
+	}
+	res.Actuals = ex.actuals
+	sort.Slice(res.Actuals, func(i, j int) bool { return res.Actuals[i].Slot < res.Actuals[j].Slot })
+	return res, nil
+}
+
+type executor struct {
+	blk     *qgm.Block
+	rt      *Runtime
+	actuals []ScanActual
+}
+
+func (ex *executor) run(node optimizer.Node) (*relation, error) {
+	switch n := node.(type) {
+	case *optimizer.Scan:
+		return ex.runScan(n)
+	case *optimizer.Join:
+		return ex.runJoin(n)
+	default:
+		return nil, fmt.Errorf("executor: unknown plan node %T", node)
+	}
+}
+
+func (ex *executor) baseTable(name string) (*storage.Table, error) {
+	tbl, ok := ex.rt.DB.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("executor: table %q does not exist", name)
+	}
+	return tbl, nil
+}
+
+func matchesAll(preds []qgm.Predicate, row []value.Datum) bool {
+	for _, p := range preds {
+		if !p.Matches(row) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ex *executor) runScan(n *optimizer.Scan) (*relation, error) {
+	tbl, err := ex.baseTable(n.Table)
+	if err != nil {
+		return nil, err
+	}
+	w := ex.rt.Weights
+	width := tbl.Schema().NumColumns()
+	rel := &relation{
+		offsets: map[int]int{n.Slot: 0},
+		widths:  map[int]int{n.Slot: width},
+		width:   width,
+	}
+	base := float64(tbl.RowCount())
+	examined := 0.0
+
+	if n.IndexColumn != "" {
+		ix, ok := ex.rt.Indexes.Find(n.Table, n.IndexColumn)
+		if !ok {
+			return nil, fmt.Errorf("executor: plan uses missing index %s.%s", n.Table, n.IndexColumn)
+		}
+		positions, err := indexPositions(ix, *n.IndexPred)
+		if err != nil {
+			return nil, err
+		}
+		ex.rt.charge(w.IndexProbe)
+		for _, pos := range positions {
+			row, err := tbl.Row(pos)
+			if err != nil {
+				return nil, err
+			}
+			examined++
+			if matchesAll(n.Preds, row) {
+				rel.rows = append(rel.rows, row)
+			}
+		}
+		ex.rt.charge(w.IndexRow * examined)
+	} else {
+		tbl.Scan(func(_ int, row []value.Datum) bool {
+			examined++
+			if matchesAll(n.Preds, row) {
+				rel.rows = append(rel.rows, append([]value.Datum(nil), row...))
+			}
+			return true
+		})
+		ex.rt.charge(w.SeqRow * examined)
+	}
+	ex.rt.charge(w.RowOut * float64(len(rel.rows)))
+
+	if len(n.Preds) > 0 {
+		ex.actuals = append(ex.actuals, ScanActual{
+			Slot: n.Slot, Table: n.Table, Alias: n.Alias,
+			BaseRows: base, Examined: examined, Matched: float64(len(rel.rows)),
+			Trace: n.Tr,
+		})
+	}
+	return rel, nil
+}
+
+// indexPositions converts a sargable predicate into an index range scan.
+func indexPositions(ix *index.Index, p qgm.Predicate) ([]int, error) {
+	switch p.Op {
+	case qgm.OpEQ:
+		return ix.Lookup(p.Value), nil
+	case qgm.OpLT:
+		return ix.Range(index.Unbounded(), index.Bound{Value: p.Value}), nil
+	case qgm.OpLE:
+		return ix.Range(index.Unbounded(), index.Bound{Value: p.Value, Inclusive: true}), nil
+	case qgm.OpGT:
+		return ix.Range(index.Bound{Value: p.Value}, index.Unbounded()), nil
+	case qgm.OpGE:
+		return ix.Range(index.Bound{Value: p.Value, Inclusive: true}, index.Unbounded()), nil
+	case qgm.OpBetween:
+		return ix.Range(index.Bound{Value: p.Lo, Inclusive: true}, index.Bound{Value: p.Hi, Inclusive: true}), nil
+	default:
+		return nil, fmt.Errorf("executor: predicate %s is not sargable", p)
+	}
+}
+
+// joinKey encodes the join-column values of a row; NULL keys return ok=false
+// (SQL: NULL joins nothing).
+func joinKey(row []value.Datum, cols []int) (string, bool) {
+	var sb strings.Builder
+	for _, c := range cols {
+		d := row[c]
+		if d.IsNull() {
+			return "", false
+		}
+		// Normalize numerics so int 5 joins float 5.0.
+		if f, ok := d.AsFloat(); ok {
+			fmt.Fprintf(&sb, "n%v|", f)
+		} else {
+			fmt.Fprintf(&sb, "s%s|", d.Str())
+		}
+	}
+	return sb.String(), true
+}
+
+func mergedRelation(left, right *relation) *relation {
+	rel := &relation{
+		offsets: make(map[int]int, len(left.offsets)+len(right.offsets)),
+		widths:  make(map[int]int, len(left.widths)+len(right.widths)),
+		width:   left.width + right.width,
+	}
+	for slot, off := range left.offsets {
+		rel.offsets[slot] = off
+		rel.widths[slot] = left.widths[slot]
+	}
+	for slot, off := range right.offsets {
+		rel.offsets[slot] = left.width + off
+		rel.widths[slot] = right.widths[slot]
+	}
+	return rel
+}
+
+func concatRows(l, r []value.Datum) []value.Datum {
+	out := make([]value.Datum, 0, len(l)+len(r))
+	out = append(out, l...)
+	return append(out, r...)
+}
+
+func (ex *executor) runJoin(n *optimizer.Join) (*relation, error) {
+	switch n.Method {
+	case optimizer.HashJoin:
+		return ex.runHashJoin(n)
+	case optimizer.IndexNLJoin:
+		return ex.runIndexNLJoin(n)
+	case optimizer.MergeJoin:
+		return ex.runMergeJoin(n)
+	case optimizer.NestedLoopJoin:
+		return ex.runNestedLoop(n)
+	default:
+		return nil, fmt.Errorf("executor: unknown join method %v", n.Method)
+	}
+}
+
+func (ex *executor) runHashJoin(n *optimizer.Join) (*relation, error) {
+	left, err := ex.run(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ex.run(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	w := ex.rt.Weights
+	rel := mergedRelation(left, right)
+
+	lCols := make([]int, len(n.Preds))
+	rCols := make([]int, len(n.Preds))
+	for i, jp := range n.Preds {
+		lCols[i] = left.col(jp.LeftSlot, jp.LeftOrd)
+		rCols[i] = right.col(jp.RightSlot, jp.RightOrd)
+	}
+
+	table := make(map[string][]int, len(left.rows))
+	for i, row := range left.rows {
+		if key, ok := joinKey(row, lCols); ok {
+			table[key] = append(table[key], i)
+		}
+	}
+	ex.rt.charge(w.HashBuild * float64(len(left.rows)))
+
+	for _, rrow := range right.rows {
+		key, ok := joinKey(rrow, rCols)
+		if !ok {
+			continue
+		}
+		for _, li := range table[key] {
+			rel.rows = append(rel.rows, concatRows(left.rows[li], rrow))
+		}
+	}
+	ex.rt.charge(w.HashProbe * float64(len(right.rows)))
+	ex.rt.charge(w.RowOut * float64(len(rel.rows)))
+	return rel, nil
+}
+
+func (ex *executor) runIndexNLJoin(n *optimizer.Join) (*relation, error) {
+	inner, ok := n.Right.(*optimizer.Scan)
+	if !ok {
+		return nil, fmt.Errorf("executor: index NL join requires a scan inner, got %T", n.Right)
+	}
+	left, err := ex.run(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := ex.baseTable(inner.Table)
+	if err != nil {
+		return nil, err
+	}
+	w := ex.rt.Weights
+	width := tbl.Schema().NumColumns()
+	rightRel := &relation{
+		offsets: map[int]int{inner.Slot: 0},
+		widths:  map[int]int{inner.Slot: width},
+		width:   width,
+	}
+	rel := mergedRelation(left, rightRel)
+
+	// The driving predicate is the first join predicate with an index on
+	// the inner column; the rest are residual filters.
+	var driving *qgm.JoinPredicate
+	var ix *index.Index
+	for i := range n.Preds {
+		jp := n.Preds[i]
+		if jp.RightSlot != inner.Slot {
+			continue
+		}
+		if found, ok := ex.rt.Indexes.Find(inner.Table, jp.RightCol); ok {
+			driving, ix = &jp, found
+			break
+		}
+	}
+	if driving == nil {
+		return nil, fmt.Errorf("executor: no usable index for NL join into %s", inner.Table)
+	}
+
+	examined, matched := 0.0, 0.0
+	for _, lrow := range left.rows {
+		ex.rt.charge(w.IndexProbe)
+		key := lrow[left.col(driving.LeftSlot, driving.LeftOrd)]
+		if key.IsNull() {
+			continue
+		}
+		for _, pos := range ix.Lookup(key) {
+			irow, err := tbl.Row(pos)
+			if err != nil {
+				return nil, err
+			}
+			examined++
+			if !matchesAll(inner.Preds, irow) {
+				continue
+			}
+			matched++
+			// Residual join predicates.
+			okRow := true
+			for i := range n.Preds {
+				jp := n.Preds[i]
+				if jp == *driving {
+					continue
+				}
+				lv := lrow[left.col(jp.LeftSlot, jp.LeftOrd)]
+				if !lv.Equal(irow[jp.RightOrd]) {
+					okRow = false
+					break
+				}
+			}
+			if okRow {
+				rel.rows = append(rel.rows, concatRows(lrow, irow))
+			}
+		}
+	}
+	ex.rt.charge(w.IndexRow * examined)
+	ex.rt.charge(w.RowOut * float64(len(rel.rows)))
+
+	if len(inner.Preds) > 0 {
+		ex.actuals = append(ex.actuals, ScanActual{
+			Slot: inner.Slot, Table: inner.Table, Alias: inner.Alias,
+			BaseRows: float64(tbl.RowCount()), Examined: examined, Matched: matched,
+			Conditioned: true,
+			Trace:       inner.Tr,
+		})
+	}
+	return rel, nil
+}
+
+// compareKeys orders two rows by their join-key columns; NULLs sort first
+// (they are filtered out before merging).
+func compareKeys(a []value.Datum, aCols []int, b []value.Datum, bCols []int) int {
+	for i := range aCols {
+		if c := a[aCols[i]].Compare(b[bCols[i]]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func hasNullKey(row []value.Datum, cols []int) bool {
+	for _, c := range cols {
+		if row[c].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+func (ex *executor) runMergeJoin(n *optimizer.Join) (*relation, error) {
+	left, err := ex.run(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ex.run(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	w := ex.rt.Weights
+	rel := mergedRelation(left, right)
+
+	lCols := make([]int, len(n.Preds))
+	rCols := make([]int, len(n.Preds))
+	for i, jp := range n.Preds {
+		lCols[i] = left.col(jp.LeftSlot, jp.LeftOrd)
+		rCols[i] = right.col(jp.RightSlot, jp.RightOrd)
+	}
+
+	// Drop NULL-key rows (they join nothing), then sort both sides.
+	lRows := make([][]value.Datum, 0, len(left.rows))
+	for _, r := range left.rows {
+		if !hasNullKey(r, lCols) {
+			lRows = append(lRows, r)
+		}
+	}
+	rRows := make([][]value.Datum, 0, len(right.rows))
+	for _, r := range right.rows {
+		if !hasNullKey(r, rCols) {
+			rRows = append(rRows, r)
+		}
+	}
+	sortCharge := func(n int) {
+		if n > 1 {
+			ex.rt.charge(w.SortRow * float64(n) * math.Log2(float64(n)))
+		}
+	}
+	sortCharge(len(lRows))
+	sortCharge(len(rRows))
+	sort.SliceStable(lRows, func(i, j int) bool { return compareKeys(lRows[i], lCols, lRows[j], lCols) < 0 })
+	sort.SliceStable(rRows, func(i, j int) bool { return compareKeys(rRows[i], rCols, rRows[j], rCols) < 0 })
+
+	// Merge: advance groups of equal keys and emit the cross product of
+	// each matching group pair.
+	li, ri := 0, 0
+	for li < len(lRows) && ri < len(rRows) {
+		c := compareKeys(lRows[li], lCols, rRows[ri], rCols)
+		switch {
+		case c < 0:
+			li++
+		case c > 0:
+			ri++
+		default:
+			lEnd := li + 1
+			for lEnd < len(lRows) && compareKeys(lRows[lEnd], lCols, lRows[li], lCols) == 0 {
+				lEnd++
+			}
+			rEnd := ri + 1
+			for rEnd < len(rRows) && compareKeys(rRows[rEnd], rCols, rRows[ri], rCols) == 0 {
+				rEnd++
+			}
+			for i := li; i < lEnd; i++ {
+				for j := ri; j < rEnd; j++ {
+					rel.rows = append(rel.rows, concatRows(lRows[i], rRows[j]))
+				}
+			}
+			li, ri = lEnd, rEnd
+		}
+	}
+	ex.rt.charge(w.SeqRow * float64(len(lRows)+len(rRows)))
+	ex.rt.charge(w.RowOut * float64(len(rel.rows)))
+	return rel, nil
+}
+
+func (ex *executor) runNestedLoop(n *optimizer.Join) (*relation, error) {
+	left, err := ex.run(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ex.run(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	w := ex.rt.Weights
+	rel := mergedRelation(left, right)
+	for _, lrow := range left.rows {
+		for _, rrow := range right.rows {
+			ok := true
+			for _, jp := range n.Preds {
+				if !lrow[left.col(jp.LeftSlot, jp.LeftOrd)].Equal(rrow[right.col(jp.RightSlot, jp.RightOrd)]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rel.rows = append(rel.rows, concatRows(lrow, rrow))
+			}
+		}
+	}
+	ex.rt.charge(w.HashProbe * float64(len(left.rows)) * float64(len(right.rows)))
+	ex.rt.charge(w.RowOut * float64(len(rel.rows)))
+	return rel, nil
+}
+
+// --- finishing: aggregation, distinct, order, limit, projection ----------
+
+func (ex *executor) finish(rel *relation) (*Result, error) {
+	blk := ex.blk
+	hasAgg := false
+	for _, p := range blk.Projections {
+		if p.Agg != sqlparser.AggNone {
+			hasAgg = true
+			break
+		}
+	}
+
+	var res *Result
+	var err error
+	if hasAgg || len(blk.GroupBy) > 0 {
+		res, err = ex.aggregate(rel)
+	} else {
+		res, err = ex.project(rel)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if blk.Distinct {
+		res.Rows = distinctRows(res.Rows)
+	}
+	if len(blk.OrderBy) > 0 {
+		if err := ex.orderResult(res); err != nil {
+			return nil, err
+		}
+	}
+	if blk.Limit >= 0 && len(res.Rows) > blk.Limit {
+		res.Rows = res.Rows[:blk.Limit]
+	}
+	return res, nil
+}
+
+// project emits the non-aggregated projection; sort keys that reference
+// base columns are appended as hidden columns and stripped after ordering.
+func (ex *executor) project(rel *relation) (*Result, error) {
+	blk := ex.blk
+	type colRef struct{ slot, ord int }
+	var cols []colRef
+	var names []string
+
+	for _, p := range blk.Projections {
+		if p.Star {
+			for slot, ti := range blk.Tables {
+				for o := 0; o < ti.Schema.NumColumns(); o++ {
+					cols = append(cols, colRef{slot, o})
+					names = append(names, ti.Alias+"."+ti.Schema.Column(o).Name)
+				}
+			}
+			continue
+		}
+		cols = append(cols, colRef{p.Slot, p.Ordinal})
+		names = append(names, p.Alias)
+	}
+	// Hidden sort keys for ORDER BY on base columns not using aliases.
+	hidden := 0
+	for _, ok := range blk.OrderBy {
+		if ok.ByAlias == "" {
+			cols = append(cols, colRef{ok.Slot, ok.Ordinal})
+			names = append(names, fmt.Sprintf("__sort%d", hidden))
+			hidden++
+		}
+	}
+
+	out := make([][]value.Datum, len(rel.rows))
+	for i, row := range rel.rows {
+		pr := make([]value.Datum, len(cols))
+		for j, c := range cols {
+			pr[j] = row[rel.col(c.slot, c.ord)]
+		}
+		out[i] = pr
+	}
+	return &Result{Columns: names, Rows: out}, nil
+}
+
+type aggState struct {
+	count    int64
+	countCol int64
+	sum      float64
+	sumIsInt bool
+	sumInt   int64
+	min, max value.Datum
+	seen     bool
+}
+
+func (ex *executor) aggregate(rel *relation) (*Result, error) {
+	blk := ex.blk
+	w := ex.rt.Weights
+
+	type group struct {
+		keys []value.Datum
+		aggs []aggState
+	}
+	nAgg := len(blk.Projections)
+	groups := make(map[string]*group)
+	var orderKeys []string // deterministic group order = first appearance
+
+	for _, row := range rel.rows {
+		var kb strings.Builder
+		keys := make([]value.Datum, len(blk.GroupBy))
+		for i, gk := range blk.GroupBy {
+			d := row[rel.col(gk.Slot, gk.Ordinal)]
+			keys[i] = d
+			fmt.Fprintf(&kb, "%s|", d)
+		}
+		key := kb.String()
+		g, ok := groups[key]
+		if !ok {
+			g = &group{keys: keys, aggs: make([]aggState, nAgg)}
+			for i := range g.aggs {
+				g.aggs[i].sumIsInt = true
+				g.aggs[i].min, g.aggs[i].max = value.Null, value.Null
+			}
+			groups[key] = g
+			orderKeys = append(orderKeys, key)
+		}
+		for i, p := range blk.Projections {
+			st := &g.aggs[i]
+			st.count++
+			if p.Agg == sqlparser.AggNone || p.Star {
+				continue
+			}
+			d := row[rel.col(p.Slot, p.Ordinal)]
+			if d.IsNull() {
+				continue
+			}
+			st.countCol++
+			st.seen = true
+			if f, ok := d.AsFloat(); ok {
+				st.sum += f
+				if d.Kind() == value.KindInt {
+					st.sumInt += d.Int()
+				} else {
+					st.sumIsInt = false
+				}
+			} else {
+				st.sumIsInt = false
+			}
+			if st.min.IsNull() || d.Compare(st.min) < 0 {
+				st.min = d
+			}
+			if st.max.IsNull() || d.Compare(st.max) > 0 {
+				st.max = d
+			}
+		}
+	}
+	ex.rt.charge(w.HashBuild * float64(len(rel.rows)))
+
+	// Global aggregate over empty input still yields one row.
+	if len(groups) == 0 && len(blk.GroupBy) == 0 {
+		g := &group{aggs: make([]aggState, nAgg)}
+		for i := range g.aggs {
+			g.aggs[i].min, g.aggs[i].max = value.Null, value.Null
+		}
+		groups[""] = g
+		orderKeys = append(orderKeys, "")
+	}
+
+	names := make([]string, len(blk.Projections))
+	for i, p := range blk.Projections {
+		names[i] = p.Alias
+	}
+
+	var rows [][]value.Datum
+	for _, key := range orderKeys {
+		g := groups[key]
+		out := make([]value.Datum, len(blk.Projections))
+		for i, p := range blk.Projections {
+			st := g.aggs[i]
+			switch {
+			case p.Agg == sqlparser.AggNone:
+				// A grouped column: find its value among the group keys.
+				found := false
+				for gi, gk := range blk.GroupBy {
+					if gk.Slot == p.Slot && gk.Ordinal == p.Ordinal {
+						out[i] = g.keys[gi]
+						found = true
+						break
+					}
+				}
+				if !found {
+					return nil, fmt.Errorf("executor: projection %q is not grouped", p.Alias)
+				}
+			case p.Agg == sqlparser.AggCount:
+				if p.Star {
+					out[i] = value.NewInt(st.count)
+				} else {
+					out[i] = value.NewInt(st.countCol)
+				}
+			case p.Agg == sqlparser.AggSum:
+				if st.countCol == 0 {
+					out[i] = value.Null
+				} else if st.sumIsInt {
+					out[i] = value.NewInt(st.sumInt)
+				} else {
+					out[i] = value.NewFloat(st.sum)
+				}
+			case p.Agg == sqlparser.AggAvg:
+				if st.countCol == 0 {
+					out[i] = value.Null
+				} else {
+					out[i] = value.NewFloat(st.sum / float64(st.countCol))
+				}
+			case p.Agg == sqlparser.AggMin:
+				out[i] = st.min
+			case p.Agg == sqlparser.AggMax:
+				out[i] = st.max
+			}
+		}
+		rows = append(rows, out)
+	}
+	return &Result{Columns: names, Rows: rows}, nil
+}
+
+func distinctRows(rows [][]value.Datum) [][]value.Datum {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		var kb strings.Builder
+		for _, d := range r {
+			fmt.Fprintf(&kb, "%s|", d)
+		}
+		k := kb.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// orderResult sorts the result rows. Alias keys bind to output columns;
+// base-column keys bind to the hidden "__sortN" columns appended by project
+// (aggregated results only support alias / grouped-column keys). Hidden
+// columns are stripped afterwards.
+func (ex *executor) orderResult(res *Result) error {
+	blk := ex.blk
+	type sortKey struct {
+		col  int
+		desc bool
+	}
+	keys := make([]sortKey, 0, len(blk.OrderBy))
+	hidden := 0
+	colIndex := func(name string) int {
+		for i, c := range res.Columns {
+			if c == name {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, ok := range blk.OrderBy {
+		if ok.ByAlias != "" {
+			ci := colIndex(ok.ByAlias)
+			if ci < 0 {
+				return fmt.Errorf("executor: ORDER BY alias %q not found", ok.ByAlias)
+			}
+			keys = append(keys, sortKey{col: ci, desc: ok.Desc})
+			continue
+		}
+		ci := colIndex(fmt.Sprintf("__sort%d", hidden))
+		hidden++
+		if ci < 0 {
+			// Aggregated result: the base column must be a grouped,
+			// projected column.
+			found := false
+			for pi, p := range blk.Projections {
+				if p.Agg == sqlparser.AggNone && p.Slot == ok.Slot && p.Ordinal == ok.Ordinal {
+					keys = append(keys, sortKey{col: pi, desc: ok.Desc})
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("executor: ORDER BY column is neither projected nor grouped")
+			}
+			continue
+		}
+		keys = append(keys, sortKey{col: ci, desc: ok.Desc})
+	}
+
+	n := len(res.Rows)
+	if n > 1 {
+		ex.rt.charge(ex.rt.Weights.SortRow * float64(n) * math.Log2(float64(n)))
+	}
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		for _, k := range keys {
+			c := res.Rows[i][k.col].Compare(res.Rows[j][k.col])
+			if c == 0 {
+				continue
+			}
+			if k.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+
+	// Strip hidden sort columns.
+	visible := len(res.Columns)
+	for visible > 0 && strings.HasPrefix(res.Columns[visible-1], "__sort") {
+		visible--
+	}
+	if visible < len(res.Columns) {
+		res.Columns = res.Columns[:visible]
+		for i := range res.Rows {
+			res.Rows[i] = res.Rows[i][:visible]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package executor
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/optimizer"
+	"repro/internal/qgm"
+	"repro/internal/sqlparser"
+	"repro/internal/value"
+)
+
+// forceJoinMethod optimizes the SQL, then rebuilds the top join with the
+// requested method and executes it, returning the result.
+func forceJoinMethod(t *testing.T, e *env, sql string, method optimizer.JoinMethod) *Result {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := qgm.Build(stmt.(*sqlparser.SelectStmt), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := q.Blocks[0]
+	var cm costmodel.Meter
+	ctx := &optimizer.Context{
+		Est:     &optimizer.Estimator{Cat: e.cat},
+		Indexes: e.indexes,
+		Weights: costmodel.DefaultWeights(),
+		Meter:   &cm,
+	}
+	plan, err := optimizer.Optimize(blk, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scans := optimizer.CollectScans(plan)
+	if len(scans) != 2 {
+		t.Fatalf("test query must join exactly 2 tables, got %d scans", len(scans))
+	}
+	forced := &optimizer.Join{
+		Left: scans[0], Right: scans[1], Method: method, Preds: blk.JoinPreds,
+	}
+	var m costmodel.Meter
+	res, err := Execute(blk, forced, &Runtime{DB: e.db, Indexes: e.indexes, Weights: costmodel.DefaultWeights(), Meter: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestMergeJoinMatchesHashJoin(t *testing.T) {
+	e := newEnv(t)
+	sql := `SELECT c.id, o.name FROM car c, owner o WHERE c.ownerid = o.id AND o.city = 'Ottawa'`
+	hash := forceJoinMethod(t, e, sql, optimizer.HashJoin)
+	merge := forceJoinMethod(t, e, sql, optimizer.MergeJoin)
+	if len(hash.Rows) != len(merge.Rows) {
+		t.Fatalf("hash %d rows vs merge %d rows", len(hash.Rows), len(merge.Rows))
+	}
+	// Same multiset of (id, name) pairs.
+	count := func(rows [][]value.Datum) map[string]int {
+		m := map[string]int{}
+		for _, r := range rows {
+			m[r[0].String()+"|"+r[1].String()]++
+		}
+		return m
+	}
+	ch, cm := count(hash.Rows), count(merge.Rows)
+	for k, v := range ch {
+		if cm[k] != v {
+			t.Fatalf("row %q: hash %d vs merge %d", k, v, cm[k])
+		}
+	}
+}
+
+func TestMergeJoinDuplicateKeysCrossProduct(t *testing.T) {
+	e := newEnv(t)
+	// Every owner id matches 4 cars: merge must emit the full group cross
+	// product per key.
+	res := forceJoinMethod(t, e,
+		`SELECT c.id AS cid, o.id AS oid FROM car c, owner o WHERE c.ownerid = o.id`,
+		optimizer.MergeJoin)
+	if len(res.Rows) != 200 { // every car matches exactly one owner
+		t.Errorf("rows = %d, want 200", len(res.Rows))
+	}
+}
+
+func TestMergeJoinNullKeysExcluded(t *testing.T) {
+	e := newEnv(t)
+	tbl, _ := e.db.Table("car")
+	if err := tbl.Insert([]value.Datum{value.NewInt(5000), value.Null, value.NewString("Ghost"), value.NewInt(2000), value.Null}); err != nil {
+		t.Fatal(err)
+	}
+	res := forceJoinMethod(t, e,
+		`SELECT c.id AS cid, o.id AS oid FROM car c, owner o WHERE c.ownerid = o.id`,
+		optimizer.MergeJoin)
+	for _, r := range res.Rows {
+		if r[0].Int() == 5000 {
+			t.Fatal("NULL-keyed row joined")
+		}
+	}
+}
+
+func TestMergeJoinChargesSortWork(t *testing.T) {
+	e := newEnv(t)
+	stmt, err := sqlparser.Parse(`SELECT c.id FROM car c, owner o WHERE c.ownerid = o.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := qgm.Build(stmt.(*sqlparser.SelectStmt), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := q.Blocks[0]
+	var cm costmodel.Meter
+	ctx := &optimizer.Context{Est: &optimizer.Estimator{Cat: e.cat}, Indexes: e.indexes, Weights: costmodel.DefaultWeights(), Meter: &cm}
+	plan, err := optimizer.Optimize(blk, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scans := optimizer.CollectScans(plan)
+	forced := &optimizer.Join{Left: scans[0], Right: scans[1], Method: optimizer.MergeJoin, Preds: blk.JoinPreds}
+	var mMerge, mHash costmodel.Meter
+	if _, err := Execute(blk, forced, &Runtime{DB: e.db, Indexes: e.indexes, Weights: costmodel.DefaultWeights(), Meter: &mMerge}); err != nil {
+		t.Fatal(err)
+	}
+	forced.Method = optimizer.HashJoin
+	if _, err := Execute(blk, forced, &Runtime{DB: e.db, Indexes: e.indexes, Weights: costmodel.DefaultWeights(), Meter: &mHash}); err != nil {
+		t.Fatal(err)
+	}
+	if mMerge.Units() <= mHash.Units() {
+		t.Errorf("merge join (%v units) should charge sort work above hash join (%v units) here",
+			mMerge.Units(), mHash.Units())
+	}
+}
+
+func TestOptimizerConsidersMergeJoin(t *testing.T) {
+	// With a sort-cheap cost model, merge join should win somewhere; verify
+	// the enumerator can produce it at all by zeroing hash costs upward.
+	e := newEnv(t)
+	stmt, err := sqlparser.Parse(`SELECT c.id FROM car c, owner o WHERE c.ownerid = o.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := qgm.Build(stmt.(*sqlparser.SelectStmt), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := costmodel.DefaultWeights()
+	w.HashBuild, w.HashProbe = 1000, 1000 // make hashing prohibitive
+	w.IndexProbe, w.IndexRow = 1e6, 1e6   // and index NL too
+	var cm costmodel.Meter
+	ctx := &optimizer.Context{Est: &optimizer.Estimator{Cat: e.cat}, Indexes: e.indexes, Weights: w, Meter: &cm}
+	plan, err := optimizer.Optimize(q.Blocks[0], ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	join, ok := plan.(*optimizer.Join)
+	if !ok {
+		t.Fatalf("plan = %T", plan)
+	}
+	if join.Method != optimizer.MergeJoin {
+		t.Errorf("method = %v, want MergeJoin under hash-hostile weights", join.Method)
+	}
+	// And the plan must execute correctly.
+	var m costmodel.Meter
+	res, err := Execute(q.Blocks[0], plan, &Runtime{DB: e.db, Indexes: e.indexes, Weights: w, Meter: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 200 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+}

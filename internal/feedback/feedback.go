@@ -1,0 +1,177 @@
+// Package feedback implements the LEO-style query feedback loop the paper
+// relies on for its StatHistory: after a query executes, the engine compares
+// the optimizer's estimated selectivity of each table's predicate group with
+// the actual selectivity observed at run time and records the error.
+//
+// Each history entry matches the paper's Table 1 schema: (T, colgrp,
+// statlist, count, errorFactor), where statlist is the set of statistics the
+// optimizer combined to produce the estimate (e.g. two 1-D histograms under
+// the independence assumption) and errorFactor = estimated / actual. The
+// JITS sensitivity analysis consumes this history: Algorithm 3 reads the
+// entries *for* a column group to score how well existing statistics predict
+// it, and Algorithm 4 reads the entries *using* a statistic to score how
+// useful materializing it has been.
+package feedback
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ewmaAlpha is the weight of the newest observation when an entry's error
+// factor is updated; older history decays geometrically.
+const ewmaAlpha = 0.5
+
+// Entry is one StatHistory record.
+type Entry struct {
+	Table       string
+	ColGrp      string   // canonical column-group key (qgm.ColumnGroupKey)
+	StatList    []string // canonical keys of the statistics used, sorted
+	Count       int64    // times this statlist estimated this group
+	ErrorFactor float64  // estimated/actual, exponentially averaged
+}
+
+// Accuracy converts an error factor into the paper's [0,1] accuracy scale:
+// overestimating by 2× and underestimating by 2× are equally inaccurate, so
+// the score is min(ef, 1/ef). A perfect estimate scores 1.
+func Accuracy(errorFactor float64) float64 {
+	if errorFactor <= 0 {
+		return 0
+	}
+	if errorFactor > 1 {
+		return 1 / errorFactor
+	}
+	return errorFactor
+}
+
+type entryKey struct {
+	table, colgrp, stats string
+}
+
+func canonStats(statlist []string) (string, []string) {
+	s := append([]string(nil), statlist...)
+	sort.Strings(s)
+	return strings.Join(s, "|"), s
+}
+
+// History is the StatHistory store. Safe for concurrent use.
+type History struct {
+	mu      sync.RWMutex
+	entries map[entryKey]*Entry
+	total   int64 // Σ count — the F of Algorithm 4
+}
+
+// NewHistory returns an empty StatHistory.
+func NewHistory() *History {
+	return &History{entries: make(map[entryKey]*Entry)}
+}
+
+// Record logs that statlist was used to estimate colgrp on table with the
+// given error factor (estimated/actual). Repeated observations accumulate
+// the count and exponentially average the error factor.
+func (h *History) Record(table, colgrp string, statlist []string, errorFactor float64) {
+	key, sorted := canonStats(statlist)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	k := entryKey{table: table, colgrp: colgrp, stats: key}
+	e, ok := h.entries[k]
+	if !ok {
+		e = &Entry{Table: table, ColGrp: colgrp, StatList: sorted, ErrorFactor: errorFactor}
+		h.entries[k] = e
+	} else {
+		e.ErrorFactor = (1-ewmaAlpha)*e.ErrorFactor + ewmaAlpha*errorFactor
+	}
+	e.Count++
+	h.total++
+}
+
+// EntriesFor returns copies of the entries whose target is (table, colgrp) —
+// the H set of Algorithm 3.
+func (h *History) EntriesFor(table, colgrp string) []Entry {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var out []Entry
+	for _, e := range h.entries {
+		if e.Table == table && e.ColGrp == colgrp {
+			out = append(out, cloneEntry(e))
+		}
+	}
+	sortEntries(out)
+	return out
+}
+
+// EntriesUsing returns copies of the entries whose statlist contains the
+// given statistic key — the H set of Algorithm 4.
+func (h *History) EntriesUsing(statKey string) []Entry {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var out []Entry
+	for _, e := range h.entries {
+		for _, s := range e.StatList {
+			if s == statKey {
+				out = append(out, cloneEntry(e))
+				break
+			}
+		}
+	}
+	sortEntries(out)
+	return out
+}
+
+// TotalCount returns the total number of recorded observations — the F
+// denominator in Algorithm 4's usefulness score.
+func (h *History) TotalCount() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.total
+}
+
+// Len returns the number of distinct history entries.
+func (h *History) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.entries)
+}
+
+// Reset clears the history.
+func (h *History) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.entries = make(map[entryKey]*Entry)
+	h.total = 0
+}
+
+func cloneEntry(e *Entry) Entry {
+	c := *e
+	c.StatList = append([]string(nil), e.StatList...)
+	return c
+}
+
+func sortEntries(es []Entry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Table != es[j].Table {
+			return es[i].Table < es[j].Table
+		}
+		if es[i].ColGrp != es[j].ColGrp {
+			return es[i].ColGrp < es[j].ColGrp
+		}
+		return strings.Join(es[i].StatList, "|") < strings.Join(es[j].StatList, "|")
+	})
+}
+
+// ErrorFactor computes estimated/actual with both sides floored to keep the
+// ratio finite: floor represents half a row at the given cardinality.
+func ErrorFactor(estimatedSel, actualSel float64, cardinality int64) float64 {
+	floor := 1e-9
+	if cardinality > 0 {
+		floor = 0.5 / float64(cardinality)
+	}
+	if estimatedSel < floor {
+		estimatedSel = floor
+	}
+	if actualSel < floor {
+		actualSel = floor
+	}
+	return estimatedSel / actualSel
+}

@@ -1,0 +1,142 @@
+package feedback
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccuracy(t *testing.T) {
+	cases := []struct {
+		ef, want float64
+	}{
+		{1, 1},
+		{0.5, 0.5},
+		{2, 0.5},
+		{0.25, 0.25},
+		{4, 0.25},
+		{0, 0},
+		{-1, 0},
+	}
+	for _, c := range cases {
+		if got := Accuracy(c.ef); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Accuracy(%v) = %v, want %v", c.ef, got, c.want)
+		}
+	}
+}
+
+func TestAccuracySymmetryProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		ef := float64(raw)/1000 + 0.001
+		return math.Abs(Accuracy(ef)-Accuracy(1/ef)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordAndLookup(t *testing.T) {
+	h := NewHistory()
+	// Mirror the paper's Table 1.
+	h.Record("t1", "t1(a,b,c)", []string{"t1(a,b)", "t1(c)"}, 0.4)
+	h.Record("t1", "t1(a,b,c)", []string{"t1(a)", "t1(b,c)"}, 0.7)
+	h.Record("t1", "t1(a,b,c)", []string{"t1(a,b,c)"}, 1.0)
+	h.Record("t1", "t1(a,b,d)", []string{"t1(a,b)", "t1(d)"}, 0.6)
+
+	got := h.EntriesFor("t1", "t1(a,b,c)")
+	if len(got) != 3 {
+		t.Fatalf("EntriesFor = %d entries, want 3", len(got))
+	}
+	if h.TotalCount() != 4 || h.Len() != 4 {
+		t.Errorf("TotalCount=%d Len=%d", h.TotalCount(), h.Len())
+	}
+	using := h.EntriesUsing("t1(a,b)")
+	if len(using) != 2 {
+		t.Fatalf("EntriesUsing(t1(a,b)) = %d entries, want 2", len(using))
+	}
+	if len(h.EntriesUsing("t1(z)")) != 0 {
+		t.Error("EntriesUsing of unknown stat must be empty")
+	}
+	if len(h.EntriesFor("t9", "t9(a)")) != 0 {
+		t.Error("EntriesFor of unknown table must be empty")
+	}
+}
+
+func TestRecordMergesAndEWMA(t *testing.T) {
+	h := NewHistory()
+	h.Record("t", "t(a)", []string{"t(a)"}, 1.0)
+	h.Record("t", "t(a)", []string{"t(a)"}, 0.5)
+	got := h.EntriesFor("t", "t(a)")
+	if len(got) != 1 {
+		t.Fatalf("entries = %d, want 1 merged", len(got))
+	}
+	if got[0].Count != 2 {
+		t.Errorf("count = %d", got[0].Count)
+	}
+	want := 0.5*1.0 + 0.5*0.5
+	if math.Abs(got[0].ErrorFactor-want) > 1e-12 {
+		t.Errorf("ef = %v, want %v", got[0].ErrorFactor, want)
+	}
+}
+
+func TestStatListOrderInsensitive(t *testing.T) {
+	h := NewHistory()
+	h.Record("t", "t(a,b)", []string{"t(a)", "t(b)"}, 1.0)
+	h.Record("t", "t(a,b)", []string{"t(b)", "t(a)"}, 1.0)
+	if h.Len() != 1 {
+		t.Errorf("Len = %d, statlist order must not split entries", h.Len())
+	}
+}
+
+func TestEntriesAreCopies(t *testing.T) {
+	h := NewHistory()
+	h.Record("t", "t(a)", []string{"t(a)"}, 1.0)
+	got := h.EntriesFor("t", "t(a)")
+	got[0].ErrorFactor = 99
+	got[0].StatList[0] = "mutated"
+	again := h.EntriesFor("t", "t(a)")
+	if again[0].ErrorFactor == 99 || again[0].StatList[0] == "mutated" {
+		t.Error("lookup must return copies")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := NewHistory()
+	h.Record("t", "t(a)", []string{"t(a)"}, 1.0)
+	h.Reset()
+	if h.Len() != 0 || h.TotalCount() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestErrorFactor(t *testing.T) {
+	// Paper example: estimated 0.2, actual 0.5 → ef 0.4.
+	if got := ErrorFactor(0.2, 0.5, 1000); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("ef = %v, want 0.4", got)
+	}
+	// Zero actual is floored to half a row.
+	got := ErrorFactor(0.1, 0, 1000)
+	if math.IsInf(got, 0) || got != 0.1/(0.5/1000) {
+		t.Errorf("floored ef = %v", got)
+	}
+	// Zero estimate floored too.
+	got = ErrorFactor(0, 0.1, 1000)
+	if got <= 0 {
+		t.Errorf("ef = %v", got)
+	}
+	// Zero cardinality uses the tiny default floor without dividing by zero.
+	if got := ErrorFactor(0.5, 0.5, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ef = %v", got)
+	}
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	h := NewHistory()
+	h.Record("t", "t(a)", []string{"t(b)"}, 1)
+	h.Record("t", "t(a)", []string{"t(a)"}, 1)
+	h.Record("t", "t(a)", []string{"t(c)"}, 1)
+	got := h.EntriesFor("t", "t(a)")
+	if got[0].StatList[0] != "t(a)" || got[1].StatList[0] != "t(b)" || got[2].StatList[0] != "t(c)" {
+		t.Errorf("entries not deterministically sorted: %+v", got)
+	}
+}

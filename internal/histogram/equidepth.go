@@ -1,0 +1,78 @@
+package histogram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BuildEquiDepth constructs a one-dimensional equi-depth histogram over the
+// given coordinates (one per non-NULL row), the RUNSTATS-style distribution
+// statistic stored in the system catalog.
+//
+// unit is the coordinate width of a single value — 1 for integer and string
+// coordinates, a small epsilon for floats — used to close the final bucket
+// so the maximum value falls inside the half-open domain. Duplicate-heavy
+// data yields fewer, wider buckets rather than zero-width ones.
+func BuildEquiDepth(col string, coords []float64, buckets int, unit float64, ts int64) (*Histogram, error) {
+	if len(coords) == 0 {
+		return nil, fmt.Errorf("histogram: no values to build %s from", col)
+	}
+	if buckets < 1 {
+		return nil, fmt.Errorf("histogram: bucket count %d < 1", buckets)
+	}
+	if unit <= 0 {
+		return nil, fmt.Errorf("histogram: unit %g must be positive", unit)
+	}
+	sorted := append([]float64(nil), coords...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	lo := sorted[0]
+	hi := sorted[n-1] + unit
+
+	// Choose strictly-increasing cut points at (approximate) quantiles.
+	// Each bucket is closed tightly after its last value run: when a gap
+	// separates the bucket's top value from the next cut, a zero-mass gap
+	// bucket fills it, so heavy duplicate runs are not diluted across empty
+	// ranges (a lightweight form of a compressed histogram).
+	cuts := []float64{lo}
+	masses := []float64{}
+	prevIdx := 0
+	for b := 1; b < buckets; b++ {
+		idx := b * n / buckets
+		if idx <= prevIdx {
+			continue
+		}
+		cut := sorted[idx]
+		if cut <= cuts[len(cuts)-1] {
+			continue // duplicate value spans the boundary; widen the bucket
+		}
+		// Count rows in [prevCut, cut): all sorted[prevIdx:firstAtOrAbove(cut)].
+		at := sort.SearchFloat64s(sorted, cut)
+		mass := float64(at-prevIdx) / float64(n)
+		if tail := sorted[at-1] + unit; tail < cut && tail > cuts[len(cuts)-1] {
+			masses = append(masses, mass, 0)
+			cuts = append(cuts, tail, cut)
+		} else {
+			masses = append(masses, mass)
+			cuts = append(cuts, cut)
+		}
+		prevIdx = at
+	}
+	masses = append(masses, float64(n-prevIdx)/float64(n))
+	cuts = append(cuts, hi)
+
+	h := &Histogram{
+		cols:           []string{col},
+		cuts:           [][]float64{cuts},
+		mass:           masses,
+		ts:             make([]int64, len(masses)),
+		lastUsed:       ts,
+		maxCutsPerDim:  DefaultMaxCutsPerDim,
+		maxCells:       DefaultMaxCells,
+		maxConstraints: DefaultMaxConstraints,
+	}
+	for i := range h.ts {
+		h.ts[i] = ts
+	}
+	return h, nil
+}

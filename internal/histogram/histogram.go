@@ -1,0 +1,652 @@
+// Package histogram implements the adaptive single- and multi-dimensional
+// histograms that back both the system catalog's general statistics and the
+// JITS QSS archive.
+//
+// A Histogram is an N-dimensional grid: each dimension d has a sorted cut
+// list cuts[d] delimiting half-open cells [cuts[d][i], cuts[d][i+1]), and
+// every cell carries a mass (fraction of the table's rows) plus a logical
+// timestamp recording when that region of the distribution was last
+// refreshed — the paper's per-bucket time stamps.
+//
+// New knowledge arrives as *constraints*: "the fraction of rows inside this
+// box is f", observed by sampling during statistics collection. Updating
+// follows the paper's maximum-entropy strategy (its extension of ISOMER):
+// the box's boundaries are inserted as new cuts, splitting cells under a
+// uniformity assumption, and iterative proportional fitting then rescales
+// cell masses so every retained constraint holds while the distribution
+// stays otherwise as uniform as possible — "a distribution that satisfies
+// the knowledge gained by the new statistics without assuming any further
+// knowledge of the data".
+//
+// The package also implements the paper's histogram-accuracy metric (§3.3.2)
+// used by the sensitivity analysis, and the uniformity score used by the
+// archive's space-pressure eviction ("we remove the histograms that are
+// almost uniformly distributed, as they are close to the optimizer's
+// assumptions").
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Defaults bounding histogram growth; callers can override per histogram.
+const (
+	DefaultMaxCutsPerDim  = 64
+	DefaultMaxCells       = 4096
+	DefaultMaxConstraints = 48
+
+	ipfMaxRounds = 40
+	ipfTolerance = 1e-9
+	// ipfConflictTolerance: when iterative proportional fitting cannot
+	// satisfy all retained constraints to within this residual, the data
+	// has drifted enough that old observations contradict new ones; the
+	// oldest constraints are forgotten until the system is consistent —
+	// ISOMER's approach to inconsistent feedback.
+	ipfConflictTolerance = 0.05
+)
+
+// Box is an axis-aligned half-open region [Lo[d], Hi[d]) per dimension.
+// ±Inf ends are clamped to the histogram's domain.
+type Box struct {
+	Lo, Hi []float64
+}
+
+// FullRange returns an unbounded interval for one dimension.
+func FullRange() (lo, hi float64) { return math.Inf(-1), math.Inf(1) }
+
+// FullBox returns an unbounded box of the given dimensionality; every end
+// clamps to the histogram domain.
+func FullBox(dims int) Box {
+	b := Box{Lo: make([]float64, dims), Hi: make([]float64, dims)}
+	for d := range b.Lo {
+		b.Lo[d], b.Hi[d] = FullRange()
+	}
+	return b
+}
+
+// Dims returns the box dimensionality.
+func (b Box) Dims() int { return len(b.Lo) }
+
+// String renders the box for diagnostics.
+func (b Box) String() string {
+	parts := make([]string, len(b.Lo))
+	for d := range b.Lo {
+		parts[d] = fmt.Sprintf("[%g,%g)", b.Lo[d], b.Hi[d])
+	}
+	return strings.Join(parts, "x")
+}
+
+type constraint struct {
+	box  Box
+	frac float64
+	ts   int64
+}
+
+// Histogram is an adaptive N-dimensional grid histogram. Total mass is
+// normalized to 1; callers convert to row counts with the table cardinality.
+type Histogram struct {
+	cols []string    // dimension names, canonical (sorted) order
+	cuts [][]float64 // per-dim sorted cuts; domain = [cuts[d][0], cuts[d][last])
+	mass []float64   // dense cells, row-major, dim 0 outermost
+	ts   []int64     // per-cell refresh timestamps
+
+	constraints []constraint
+	lastUsed    int64 // archive LRU bookkeeping
+
+	maxCutsPerDim  int
+	maxCells       int
+	maxConstraints int
+}
+
+// NewGrid creates a one-cell histogram over the given per-dimension domain
+// [lo[d], hi[d]) with uniform mass. cols must be in canonical (sorted)
+// order; lo[d] must be strictly below hi[d].
+func NewGrid(cols []string, lo, hi []float64, ts int64) (*Histogram, error) {
+	if len(cols) == 0 || len(cols) != len(lo) || len(cols) != len(hi) {
+		return nil, fmt.Errorf("histogram: cols/lo/hi lengths mismatch (%d/%d/%d)", len(cols), len(lo), len(hi))
+	}
+	if !sort.StringsAreSorted(cols) {
+		return nil, fmt.Errorf("histogram: columns must be in canonical sorted order, got %v", cols)
+	}
+	h := &Histogram{
+		cols:           append([]string(nil), cols...),
+		cuts:           make([][]float64, len(cols)),
+		mass:           []float64{1},
+		ts:             []int64{ts},
+		lastUsed:       ts,
+		maxCutsPerDim:  DefaultMaxCutsPerDim,
+		maxCells:       DefaultMaxCells,
+		maxConstraints: DefaultMaxConstraints,
+	}
+	for d := range cols {
+		if !(lo[d] < hi[d]) || math.IsInf(lo[d], 0) || math.IsInf(hi[d], 0) || math.IsNaN(lo[d]) || math.IsNaN(hi[d]) {
+			return nil, fmt.Errorf("histogram: invalid domain [%g,%g) for %s", lo[d], hi[d], cols[d])
+		}
+		h.cuts[d] = []float64{lo[d], hi[d]}
+	}
+	return h, nil
+}
+
+// Cols returns the dimension names in canonical order.
+func (h *Histogram) Cols() []string { return append([]string(nil), h.cols...) }
+
+// Dims returns the dimensionality.
+func (h *Histogram) Dims() int { return len(h.cols) }
+
+// Buckets returns the number of cells — the archive's space unit.
+func (h *Histogram) Buckets() int { return len(h.mass) }
+
+// LastUsed returns the logical time the optimizer last consulted this
+// histogram; the archive's LRU eviction reads it.
+func (h *Histogram) LastUsed() int64 { return h.lastUsed }
+
+// Touch records optimizer use at logical time ts.
+func (h *Histogram) Touch(ts int64) {
+	if ts > h.lastUsed {
+		h.lastUsed = ts
+	}
+}
+
+// Domain returns the [lo, hi) domain of dimension d.
+func (h *Histogram) Domain(d int) (lo, hi float64) {
+	return h.cuts[d][0], h.cuts[d][len(h.cuts[d])-1]
+}
+
+// HasCut reports whether x is an exact cut point (including the domain
+// ends) of dimension d. Callers use it to distinguish regions the histogram
+// has explicit knowledge about from regions it would merely interpolate.
+func (h *Histogram) HasCut(d int, x float64) bool {
+	cd := h.cuts[d]
+	i := sort.SearchFloat64s(cd, x)
+	return i < len(cd) && cd[i] == x
+}
+
+// cellsIn returns the number of cells along dimension d.
+func (h *Histogram) cellsIn(d int) int { return len(h.cuts[d]) - 1 }
+
+// strides returns the row-major stride per dimension.
+func (h *Histogram) strides() []int {
+	st := make([]int, h.Dims())
+	s := 1
+	for d := h.Dims() - 1; d >= 0; d-- {
+		st[d] = s
+		s *= h.cellsIn(d)
+	}
+	return st
+}
+
+// clamp clips a box to the histogram domain, returning false if the
+// intersection is empty.
+func (h *Histogram) clamp(b Box) (Box, bool) {
+	out := Box{Lo: make([]float64, h.Dims()), Hi: make([]float64, h.Dims())}
+	for d := 0; d < h.Dims(); d++ {
+		lo, hi := h.Domain(d)
+		l, r := b.Lo[d], b.Hi[d]
+		if l < lo {
+			l = lo
+		}
+		if r > hi {
+			r = hi
+		}
+		if !(l < r) {
+			return Box{}, false
+		}
+		out.Lo[d], out.Hi[d] = l, r
+	}
+	return out, true
+}
+
+// overlap1D returns the fraction of [a,b) covered by [lo,hi).
+func overlap1D(a, b, lo, hi float64) float64 {
+	l := math.Max(a, lo)
+	r := math.Min(b, hi)
+	if r <= l {
+		return 0
+	}
+	w := b - a
+	if w <= 0 {
+		return 0
+	}
+	return (r - l) / w
+}
+
+// forEachCell walks every cell, passing its linear index and per-dim coords.
+func (h *Histogram) forEachCell(fn func(idx int, coord []int)) {
+	nd := h.Dims()
+	coord := make([]int, nd)
+	for idx := range h.mass {
+		fn(idx, coord)
+		for d := nd - 1; d >= 0; d-- {
+			coord[d]++
+			if coord[d] < h.cellsIn(d) {
+				break
+			}
+			coord[d] = 0
+		}
+	}
+}
+
+// cellOverlap returns the volume fraction of the cell at coord covered by
+// the (already clamped) box.
+func (h *Histogram) cellOverlap(coord []int, b Box) float64 {
+	w := 1.0
+	for d := 0; d < h.Dims(); d++ {
+		a, c := h.cuts[d][coord[d]], h.cuts[d][coord[d]+1]
+		f := overlap1D(a, c, b.Lo[d], b.Hi[d])
+		if f == 0 {
+			return 0
+		}
+		w *= f
+	}
+	return w
+}
+
+// EstimateBox returns the estimated fraction of rows inside the box,
+// interpolating uniformly within cells. A box outside the domain estimates
+// to 0.
+func (h *Histogram) EstimateBox(b Box) (float64, error) {
+	if b.Dims() != h.Dims() {
+		return 0, fmt.Errorf("histogram: box has %d dims, histogram has %d", b.Dims(), h.Dims())
+	}
+	cb, ok := h.clamp(b)
+	if !ok {
+		return 0, nil
+	}
+	total := 0.0
+	h.forEachCell(func(idx int, coord []int) {
+		if m := h.mass[idx]; m > 0 {
+			total += m * h.cellOverlap(coord, cb)
+		}
+	})
+	if total > 1 {
+		total = 1
+	}
+	return total, nil
+}
+
+// OldestTimestampIn returns the minimum bucket timestamp among cells
+// overlapping the box — the recentness signal the sensitivity analysis uses.
+// A box outside the domain returns 0 ("never refreshed").
+func (h *Histogram) OldestTimestampIn(b Box) int64 {
+	cb, ok := h.clamp(b)
+	if !ok {
+		return 0
+	}
+	oldest := int64(math.MaxInt64)
+	h.forEachCell(func(idx int, coord []int) {
+		if h.cellOverlap(coord, cb) > 0 && h.ts[idx] < oldest {
+			oldest = h.ts[idx]
+		}
+	})
+	if oldest == math.MaxInt64 {
+		return 0
+	}
+	return oldest
+}
+
+// extendDomain widens a dimension's domain to include finite box ends that
+// fall outside it; the edge cell stretches and keeps its mass.
+func (h *Histogram) extendDomain(b Box) {
+	for d := 0; d < h.Dims(); d++ {
+		last := len(h.cuts[d]) - 1
+		if !math.IsInf(b.Lo[d], 0) && b.Lo[d] < h.cuts[d][0] {
+			h.cuts[d][0] = b.Lo[d]
+		}
+		if !math.IsInf(b.Hi[d], 0) && b.Hi[d] > h.cuts[d][last] {
+			h.cuts[d][last] = b.Hi[d]
+		}
+	}
+}
+
+// insertCut splits cells along dimension d at x (interior, not already a
+// cut), distributing mass proportionally to width — the uniformity
+// assumption of Figure 2. Both halves of a split cell receive the new
+// timestamp, matching the paper's Figure 2(c) ("the time stamp of the new
+// buckets on both sides of the dotted line is updated"). The cut is skipped
+// when the per-dimension or total-cell budget is exhausted.
+func (h *Histogram) insertCut(d int, x float64, ts int64) {
+	cd := h.cuts[d]
+	// Position: first index with cuts[i] >= x.
+	i := sort.SearchFloat64s(cd, x)
+	if i == 0 || i == len(cd) || (i < len(cd) && cd[i] == x) {
+		return // outside domain or already a cut
+	}
+	if h.cellsIn(d) >= h.maxCutsPerDim {
+		return
+	}
+	newCells := len(h.mass) / h.cellsIn(d) * (h.cellsIn(d) + 1)
+	if newCells > h.maxCells {
+		return
+	}
+
+	j := i - 1 // cell [cd[j], cd[j+1]) contains x strictly inside
+	frac := (x - cd[j]) / (cd[j+1] - cd[j])
+
+	oldStrides := h.strides()
+
+	newCuts := make([]float64, 0, len(cd)+1)
+	newCuts = append(newCuts, cd[:i]...)
+	newCuts = append(newCuts, x)
+	newCuts = append(newCuts, cd[i:]...)
+	h.cuts[d] = newCuts
+
+	newStrides := h.strides()
+	newMass := make([]float64, newCells)
+	newTS := make([]int64, newCells)
+
+	// Map each old cell to its new position(s).
+	nd := h.Dims()
+	coord := make([]int, nd)
+	for oldIdx := range h.mass {
+		// Decode coord from oldIdx using old strides.
+		rem := oldIdx
+		for dd := 0; dd < nd; dd++ {
+			coord[dd] = rem / oldStrides[dd]
+			rem %= oldStrides[dd]
+		}
+		m, t := h.mass[oldIdx], h.ts[oldIdx]
+		switch {
+		case coord[d] < j:
+			newMass[linIdx(coord, newStrides)] = m
+			newTS[linIdx(coord, newStrides)] = t
+		case coord[d] > j:
+			coord[d]++
+			newMass[linIdx(coord, newStrides)] = m
+			newTS[linIdx(coord, newStrides)] = t
+			coord[d]--
+		default: // the split cell: both halves are freshly (re)stamped
+			lowIdx := linIdx(coord, newStrides)
+			newMass[lowIdx] = m * frac
+			newTS[lowIdx] = ts
+			coord[d]++
+			hiIdx := linIdx(coord, newStrides)
+			newMass[hiIdx] = m * (1 - frac)
+			newTS[hiIdx] = ts
+			coord[d]--
+		}
+	}
+	h.mass = newMass
+	h.ts = newTS
+}
+
+func linIdx(coord, strides []int) int {
+	idx := 0
+	for d, c := range coord {
+		idx += c * strides[d]
+	}
+	return idx
+}
+
+// AddConstraint records the observation "fraction frac of the rows lies in
+// box" at logical time ts and refits the histogram: boundaries become cuts
+// (uniform split), then iterative proportional fitting rescales masses so
+// all retained constraints hold — the maximum-entropy update. Cells the box
+// touches (and cells created by the split) receive the new timestamp.
+func (h *Histogram) AddConstraint(b Box, frac float64, ts int64) error {
+	if b.Dims() != h.Dims() {
+		return fmt.Errorf("histogram: constraint box has %d dims, histogram has %d", b.Dims(), h.Dims())
+	}
+	if frac < 0 || frac > 1 || math.IsNaN(frac) {
+		return fmt.Errorf("histogram: constraint fraction %g out of [0,1]", frac)
+	}
+	h.extendDomain(b)
+	cb, ok := h.clamp(b)
+	if !ok {
+		return nil // empty region carries no information
+	}
+	for d := 0; d < h.Dims(); d++ {
+		h.insertCut(d, cb.Lo[d], ts)
+		h.insertCut(d, cb.Hi[d], ts)
+	}
+	h.constraints = append(h.constraints, constraint{box: cb, frac: frac, ts: ts})
+	if len(h.constraints) > h.maxConstraints {
+		h.constraints = h.constraints[len(h.constraints)-h.maxConstraints:]
+	}
+	h.refit()
+
+	// Stamp refreshed cells.
+	h.forEachCell(func(idx int, coord []int) {
+		if h.cellOverlap(coord, cb) > 0 && ts > h.ts[idx] {
+			h.ts[idx] = ts
+		}
+	})
+	h.Touch(ts)
+	return nil
+}
+
+// refit runs iterative proportional fitting over the retained constraints,
+// dropping the oldest constraints whenever the system has become
+// inconsistent (a residual above ipfConflictTolerance after a full IPF
+// pass) so that fresh observations always win over stale ones.
+func (h *Histogram) refit() {
+	for {
+		residual := h.runIPF()
+		if residual <= ipfConflictTolerance || len(h.constraints) <= 1 {
+			return
+		}
+		h.constraints = h.constraints[1:]
+	}
+}
+
+// runIPF performs one bounded IPF pass and returns the final maximum
+// constraint residual.
+func (h *Histogram) runIPF() float64 {
+	if len(h.constraints) == 0 {
+		return 0
+	}
+	// Precompute per-constraint cell overlaps once; cuts no longer change.
+	overlaps := make([][]float64, len(h.constraints))
+	for ci, c := range h.constraints {
+		w := make([]float64, len(h.mass))
+		h.forEachCell(func(idx int, coord []int) {
+			w[idx] = h.cellOverlap(coord, c.box)
+		})
+		overlaps[ci] = w
+	}
+	volumes := h.cellVolumes()
+
+	for round := 0; round < ipfMaxRounds; round++ {
+		maxErr := 0.0
+		for ci, c := range h.constraints {
+			w := overlaps[ci]
+			inside := 0.0
+			for idx, m := range h.mass {
+				inside += m * w[idx]
+			}
+			target := c.frac
+			err := math.Abs(inside - target)
+			if err > maxErr {
+				maxErr = err
+			}
+			if err <= ipfTolerance {
+				continue
+			}
+			outside := 1 - inside
+			switch {
+			case inside > ipfTolerance && outside > ipfTolerance:
+				sIn := target / inside
+				sOut := (1 - target) / outside
+				for idx := range h.mass {
+					h.mass[idx] *= w[idx]*sIn + (1-w[idx])*sOut
+				}
+			case inside <= ipfTolerance && target > 0:
+				// No mass where the constraint needs some: seed the box
+				// uniformly by volume, scale the rest down.
+				boxVol := 0.0
+				for idx := range h.mass {
+					boxVol += w[idx] * volumes[idx]
+				}
+				if boxVol <= 0 {
+					continue
+				}
+				scaleOut := 0.0
+				if outside > ipfTolerance {
+					scaleOut = (1 - target) / outside
+				}
+				for idx := range h.mass {
+					h.mass[idx] = h.mass[idx]*(1-w[idx])*scaleOut + target*w[idx]*volumes[idx]/boxVol
+				}
+			case outside <= ipfTolerance && target < 1:
+				// All mass inside the box but some should be outside: seed
+				// the complement uniformly by volume.
+				outVol := 0.0
+				for idx := range h.mass {
+					outVol += (1 - w[idx]) * volumes[idx]
+				}
+				if outVol <= 0 {
+					continue
+				}
+				sIn := 0.0
+				if inside > ipfTolerance {
+					sIn = target / inside
+				}
+				for idx := range h.mass {
+					h.mass[idx] = h.mass[idx]*w[idx]*sIn + (1-target)*(1-w[idx])*volumes[idx]/outVol
+				}
+			}
+		}
+		if maxErr <= ipfTolerance {
+			break
+		}
+	}
+	// Guard against drift: renormalize total mass to 1.
+	total := 0.0
+	for _, m := range h.mass {
+		total += m
+	}
+	if total > 0 && math.Abs(total-1) > 1e-12 {
+		for idx := range h.mass {
+			h.mass[idx] /= total
+		}
+	}
+	// Report the final residual so refit can detect inconsistent systems.
+	residual := 0.0
+	for ci, c := range h.constraints {
+		w := overlaps[ci]
+		inside := 0.0
+		for idx, m := range h.mass {
+			inside += m * w[idx]
+		}
+		if err := math.Abs(inside - c.frac); err > residual {
+			residual = err
+		}
+	}
+	return residual
+}
+
+// cellVolumes returns each cell's geometric volume.
+func (h *Histogram) cellVolumes() []float64 {
+	vols := make([]float64, len(h.mass))
+	h.forEachCell(func(idx int, coord []int) {
+		v := 1.0
+		for d := 0; d < h.Dims(); d++ {
+			v *= h.cuts[d][coord[d]+1] - h.cuts[d][coord[d]]
+		}
+		vols[idx] = v
+	})
+	return vols
+}
+
+// Accuracy implements the paper's §3.3.2 metric: how accurately can the
+// selectivity of the given box be estimated from this histogram's bucket
+// boundaries. For each dimension and each finite endpoint strictly inside
+// the domain: locate the containing bucket, u = min(d1,d2)/max(d1,d2) ×
+// bucketWidth/domainWidth, endpoint accuracy = 1−u; dimension accuracy is
+// the product of its endpoint accuracies, overall accuracy the product
+// across dimensions. Endpoints on a boundary (d1 or d2 = 0) score 1;
+// endpoints outside the domain constrain nothing and also score 1.
+func (h *Histogram) Accuracy(b Box) (float64, error) {
+	if b.Dims() != h.Dims() {
+		return 0, fmt.Errorf("histogram: box has %d dims, histogram has %d", b.Dims(), h.Dims())
+	}
+	acc := 1.0
+	for d := 0; d < h.Dims(); d++ {
+		for _, v := range []float64{b.Lo[d], b.Hi[d]} {
+			acc *= h.endpointAccuracy(d, v)
+		}
+	}
+	return acc, nil
+}
+
+func (h *Histogram) endpointAccuracy(d int, v float64) float64 {
+	cd := h.cuts[d]
+	lo, hi := cd[0], cd[len(cd)-1]
+	if math.IsInf(v, 0) || v <= lo || v >= hi {
+		return 1
+	}
+	domainWidth := hi - lo
+	if domainWidth <= 0 {
+		return 1
+	}
+	// Containing bucket: cd[j] <= v < cd[j+1].
+	j := sort.SearchFloat64s(cd, v)
+	if j < len(cd) && cd[j] == v {
+		return 1 // exactly on a boundary
+	}
+	j--
+	d1 := v - cd[j]
+	d2 := cd[j+1] - v
+	maxD := math.Max(d1, d2)
+	if maxD <= 0 {
+		return 1
+	}
+	u := (math.Min(d1, d2) / maxD) * ((cd[j+1] - cd[j]) / domainWidth)
+	return 1 - u
+}
+
+// Uniformity returns 1 minus half the L1 distance between the cell-mass
+// distribution and the volume-proportional (uniform) distribution: 1 means
+// perfectly uniform (the histogram adds nothing over the optimizer's
+// uniformity assumption and is the cheapest to evict), values near 0 mean
+// highly skewed.
+func (h *Histogram) Uniformity() float64 {
+	vols := h.cellVolumes()
+	totalVol := 0.0
+	for _, v := range vols {
+		totalVol += v
+	}
+	if totalVol <= 0 {
+		return 1
+	}
+	dist := 0.0
+	for idx, m := range h.mass {
+		dist += math.Abs(m - vols[idx]/totalVol)
+	}
+	return 1 - dist/2
+}
+
+// Clone returns a deep copy (used by statistics migration snapshots).
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{
+		cols:           append([]string(nil), h.cols...),
+		cuts:           make([][]float64, len(h.cuts)),
+		mass:           append([]float64(nil), h.mass...),
+		ts:             append([]int64(nil), h.ts...),
+		constraints:    append([]constraint(nil), h.constraints...),
+		lastUsed:       h.lastUsed,
+		maxCutsPerDim:  h.maxCutsPerDim,
+		maxCells:       h.maxCells,
+		maxConstraints: h.maxConstraints,
+	}
+	for d := range h.cuts {
+		c.cuts[d] = append([]float64(nil), h.cuts[d]...)
+	}
+	return c
+}
+
+// String renders a compact dump for debugging and the maxent example.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "histogram(%s) %d cells\n", strings.Join(h.cols, ","), len(h.mass))
+	h.forEachCell(func(idx int, coord []int) {
+		parts := make([]string, h.Dims())
+		for d := 0; d < h.Dims(); d++ {
+			parts[d] = fmt.Sprintf("%s:[%g,%g)", h.cols[d], h.cuts[d][coord[d]], h.cuts[d][coord[d]+1])
+		}
+		fmt.Fprintf(&sb, "  %s mass=%.4f ts=%d\n", strings.Join(parts, " "), h.mass[idx], h.ts[idx])
+	})
+	return sb.String()
+}

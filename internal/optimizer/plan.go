@@ -1,0 +1,145 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/qgm"
+)
+
+// JoinMethod enumerates the physical join operators.
+type JoinMethod uint8
+
+// Physical join methods. IndexNLJoin requires the inner (right) side to be
+// a base-table scan with an index on the join column. MergeJoin sorts both
+// inputs on the join keys and merges.
+const (
+	HashJoin JoinMethod = iota
+	IndexNLJoin
+	MergeJoin
+	NestedLoopJoin // fallback for cross joins / disconnected graphs
+)
+
+// String names the method as shown in EXPLAIN output.
+func (m JoinMethod) String() string {
+	switch m {
+	case HashJoin:
+		return "HashJoin"
+	case IndexNLJoin:
+		return "IndexNLJoin"
+	case MergeJoin:
+		return "MergeJoin"
+	case NestedLoopJoin:
+		return "NestedLoopJoin"
+	default:
+		return "?"
+	}
+}
+
+// Node is one operator of the optimized join tree. The executor lowers
+// nodes into iterators; the block's aggregation/ordering/projection spec is
+// applied above the root by the executor.
+type Node interface {
+	// Rows is the optimizer's output-cardinality estimate.
+	Rows() float64
+	// Cost is the estimated cumulative work in cost-model units.
+	Cost() float64
+	// Slots lists the table slots this subtree produces.
+	Slots() []int
+	explain(sb *strings.Builder, indent int)
+}
+
+// Trace records the provenance of a scan's selectivity estimate so the
+// feedback loop can attribute estimation error to specific statistics.
+type Trace struct {
+	Table    string   // base table name
+	Alias    string   // instance alias
+	ColGrp   string   // canonical column-group key of the full local group
+	StatList []string // statistics combined for the estimate
+	EstSel   float64  // estimated selectivity of the full local group
+	BaseCard float64  // estimated base-table cardinality used
+	FromQSS  bool
+}
+
+// Scan reads one base table, applying all local predicates. When
+// IndexColumn is non-empty the scan drives through the index using
+// IndexPred and filters the remaining predicates afterwards.
+type Scan struct {
+	Slot        int
+	Alias       string
+	Table       string
+	Preds       []qgm.Predicate
+	IndexColumn string
+	IndexPred   *qgm.Predicate
+	IndexSel    float64 // estimated selectivity of IndexPred alone
+
+	EstRows float64
+	EstCost float64
+	Card    float64 // estimated base cardinality
+	Tr      *Trace
+}
+
+// Rows implements Node.
+func (s *Scan) Rows() float64 { return s.EstRows }
+
+// Cost implements Node.
+func (s *Scan) Cost() float64 { return s.EstCost }
+
+// Slots implements Node.
+func (s *Scan) Slots() []int { return []int{s.Slot} }
+
+func (s *Scan) explain(sb *strings.Builder, indent int) {
+	pad := strings.Repeat("  ", indent)
+	access := "TableScan"
+	if s.IndexColumn != "" {
+		access = fmt.Sprintf("IndexScan(%s)", s.IndexColumn)
+	}
+	fmt.Fprintf(sb, "%s%s %s as %s", pad, access, s.Table, s.Alias)
+	if len(s.Preds) > 0 {
+		parts := make([]string, len(s.Preds))
+		for i, p := range s.Preds {
+			parts[i] = p.String()
+		}
+		fmt.Fprintf(sb, " filter[%s]", strings.Join(parts, " AND "))
+	}
+	fmt.Fprintf(sb, " rows=%.1f cost=%.0f\n", s.EstRows, s.EstCost)
+}
+
+// Join combines two subtrees on equality predicates.
+type Join struct {
+	Left, Right Node
+	Method      JoinMethod
+	Preds       []qgm.JoinPredicate // predicates connecting Left's and Right's slots
+
+	EstRows float64
+	EstCost float64
+}
+
+// Rows implements Node.
+func (j *Join) Rows() float64 { return j.EstRows }
+
+// Cost implements Node.
+func (j *Join) Cost() float64 { return j.EstCost }
+
+// Slots implements Node.
+func (j *Join) Slots() []int {
+	return append(append([]int(nil), j.Left.Slots()...), j.Right.Slots()...)
+}
+
+func (j *Join) explain(sb *strings.Builder, indent int) {
+	pad := strings.Repeat("  ", indent)
+	parts := make([]string, len(j.Preds))
+	for i, p := range j.Preds {
+		parts[i] = p.String()
+	}
+	fmt.Fprintf(sb, "%s%s on[%s] rows=%.1f cost=%.0f\n", pad, j.Method, strings.Join(parts, " AND "), j.EstRows, j.EstCost)
+	j.Left.explain(sb, indent+1)
+	j.Right.explain(sb, indent+1)
+}
+
+// Explain renders the join tree as an indented EXPLAIN string.
+func Explain(n Node) string {
+	var sb strings.Builder
+	n.explain(&sb, 0)
+	return sb.String()
+}

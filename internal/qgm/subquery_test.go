@@ -1,0 +1,92 @@
+package qgm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlparser"
+)
+
+func buildQueryFull(t *testing.T, sql string) *Query {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	q, err := Build(stmt.(*sqlparser.SelectStmt), carResolver())
+	if err != nil {
+		t.Fatalf("build %q: %v", sql, err)
+	}
+	return q
+}
+
+func TestSubqueryProducesTwoBlocks(t *testing.T) {
+	q := buildQueryFull(t, `SELECT make FROM car WHERE ownerid IN (SELECT id FROM owner WHERE city = 'Ottawa')`)
+	if len(q.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(q.Blocks))
+	}
+	outer, inner := q.Blocks[0], q.Blocks[1]
+	if len(outer.SemiJoins) != 1 {
+		t.Fatalf("semijoins = %d", len(outer.SemiJoins))
+	}
+	sj := outer.SemiJoins[0]
+	if sj.Block != 1 || sj.Column != "ownerid" {
+		t.Errorf("semijoin = %+v", sj)
+	}
+	if len(inner.Tables) != 1 || inner.Tables[0].Table != "owner" {
+		t.Errorf("inner tables = %+v", inner.Tables)
+	}
+	if len(inner.LocalPreds[0]) != 1 {
+		t.Errorf("inner locals = %v", inner.LocalPreds[0])
+	}
+	if len(inner.SemiJoins) != 0 {
+		t.Errorf("inner must carry no semijoins")
+	}
+}
+
+func TestTwoSubqueries(t *testing.T) {
+	q := buildQueryFull(t, `SELECT make FROM car
+		WHERE ownerid IN (SELECT id FROM owner WHERE city = 'Ottawa')
+		  AND id IN (SELECT carid FROM accidents WHERE damage > 1000)`)
+	if len(q.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(q.Blocks))
+	}
+	if len(q.Blocks[0].SemiJoins) != 2 {
+		t.Fatalf("semijoins = %d", len(q.Blocks[0].SemiJoins))
+	}
+	// The two inner blocks must reference distinct block indices.
+	a, b := q.Blocks[0].SemiJoins[0].Block, q.Blocks[0].SemiJoins[1].Block
+	if a == b || a == 0 || b == 0 {
+		t.Errorf("semijoin blocks = %d, %d", a, b)
+	}
+}
+
+func TestSubqueryValidation(t *testing.T) {
+	for sql, want := range map[string]string{
+		`SELECT make FROM car WHERE ownerid IN (SELECT id, city FROM owner)`:                              "exactly one column",
+		`SELECT make FROM car WHERE ownerid IN (SELECT * FROM owner)`:                                     "exactly one column",
+		`SELECT make FROM car WHERE ownerid IN (SELECT id FROM owner WHERE id IN (SELECT id FROM owner))`: "nested subqueries",
+		`SELECT make FROM car WHERE ownerid IN (SELECT ghost FROM owner)`:                                 "unknown column",
+	} {
+		stmt, err := sqlparser.Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		_, err = Build(stmt.(*sqlparser.SelectStmt), carResolver())
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("%q: error = %v, want %q", sql, err, want)
+		}
+	}
+}
+
+func TestSubqueryResolvesAgainstInnerScopeOnly(t *testing.T) {
+	// "make" lives on car (outer), not owner (inner): correlated references
+	// are not supported and must fail inside the subquery.
+	stmt, err := sqlparser.Parse(`SELECT id FROM owner WHERE id IN (SELECT ownerid FROM car WHERE make = city)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(stmt.(*sqlparser.SelectStmt), carResolver()); err == nil {
+		t.Error("correlated reference must fail (no outer scope)")
+	}
+}

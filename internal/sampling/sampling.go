@@ -1,0 +1,176 @@
+// Package sampling implements the row sampling that powers JITS statistics
+// collection. The paper's prototype invokes RUNSTATS with sampling and
+// constructs on-the-fly sampling queries to collect specific predicate
+// selectivities; here a Sampler draws a fixed-size random sample of a table
+// (the paper notes the sample size sufficient for accurate statistics is
+// independent of the table size) and EvaluateGroups computes the observed
+// selectivity of every candidate predicate group from that one sample —
+// which is why the sensitivity analysis treats all of a table's candidate
+// groups as one unit: "once a table is sampled, it is relatively cheap to
+// collect the selectivities of all predicate groups that belong to this
+// table".
+package sampling
+
+import (
+	"math/rand"
+
+	"repro/internal/costmodel"
+	"repro/internal/qgm"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Sampler draws deterministic pseudo-random samples; a fixed seed makes
+// whole experiment runs reproducible.
+type Sampler struct {
+	rng *rand.Rand
+}
+
+// New returns a sampler seeded for reproducibility.
+func New(seed int64) *Sampler {
+	return &Sampler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Rows draws up to size rows from the table. Tables smaller than twice the
+// sample size are copied whole (cheaper than distinct-pick bookkeeping);
+// larger tables are sampled uniformly without replacement. The meter is
+// charged per sampled row — page-level sampling cost is proportional to the
+// sample, not the table, mirroring the paper's observation that collection
+// cost is independent of table size.
+func (s *Sampler) Rows(tbl *storage.Table, size int, meter *costmodel.Meter, w costmodel.Weights) [][]value.Datum {
+	n := tbl.RowCount()
+	if n == 0 || size <= 0 {
+		return nil
+	}
+	if n <= size*2 {
+		out := make([][]value.Datum, 0, n)
+		tbl.Scan(func(_ int, row []value.Datum) bool {
+			out = append(out, append([]value.Datum(nil), row...))
+			return true
+		})
+		meter.Add(w.SampleRow * float64(len(out)))
+		return out
+	}
+	picked := make(map[int]bool, size)
+	out := make([][]value.Datum, 0, size)
+	for len(out) < size {
+		idx := s.rng.Intn(n)
+		if picked[idx] {
+			continue
+		}
+		picked[idx] = true
+		row, err := tbl.Row(idx)
+		if err != nil {
+			continue // concurrent shrink; skip
+		}
+		out = append(out, row)
+	}
+	meter.Add(w.SampleRow * float64(len(out)))
+	return out
+}
+
+// EvaluateGroups returns the observed selectivity of each predicate group
+// over the sample. Per-predicate match vectors are computed once and shared
+// across groups, so the cost is dominated by |sample| × |distinct
+// predicates|, not by the exponential group count. A nil sample yields all
+// zeros.
+func EvaluateGroups(sample [][]value.Datum, groups [][]qgm.Predicate, meter *costmodel.Meter, w costmodel.Weights) []float64 {
+	out := make([]float64, len(groups))
+	if len(sample) == 0 {
+		return out
+	}
+	type vecKey struct{ s string }
+	vectors := make(map[vecKey][]bool)
+	vectorFor := func(p qgm.Predicate) []bool {
+		k := vecKey{p.String()}
+		if v, ok := vectors[k]; ok {
+			return v
+		}
+		v := make([]bool, len(sample))
+		for i, row := range sample {
+			v[i] = p.Matches(row)
+		}
+		vectors[k] = v
+		meter.Add(w.PredEval * float64(len(sample)))
+		return v
+	}
+	for gi, group := range groups {
+		if len(group) == 0 {
+			out[gi] = 1
+			continue
+		}
+		vecs := make([][]bool, len(group))
+		for i, p := range group {
+			vecs[i] = vectorFor(p)
+		}
+		count := 0
+	rows:
+		for i := range sample {
+			for _, v := range vecs {
+				if !v[i] {
+					continue rows
+				}
+			}
+			count++
+		}
+		out[gi] = float64(count) / float64(len(sample))
+	}
+	return out
+}
+
+// EstimateNDV estimates a column's number of distinct values from a sample
+// of n rows out of a table of tableCard rows, using the Duj1 estimator of
+// Haas et al. (the one RUNSTATS-style sampled statistics collection uses):
+//
+//	d̂ = d / (1 − (1−q)·f1/n)
+//
+// where d is the distinct count in the sample, f1 the number of values
+// appearing exactly once, and q = n/N the sampling fraction. NULLs in the
+// sample column are ignored. The result is clamped to [d, N].
+func EstimateNDV(column []value.Datum, tableCard int) int64 {
+	counts := make(map[value.Datum]int, len(column))
+	n := 0
+	for _, d := range column {
+		if d.IsNull() {
+			continue
+		}
+		counts[d]++
+		n++
+	}
+	d := int64(len(counts))
+	if d == 0 || tableCard <= 0 {
+		return 0
+	}
+	if n >= tableCard {
+		return d // full scan: exact
+	}
+	f1 := 0
+	for _, c := range counts {
+		if c == 1 {
+			f1++
+		}
+	}
+	q := float64(n) / float64(tableCard)
+	denom := 1 - (1-q)*float64(f1)/float64(n)
+	if denom <= 0 {
+		return int64(tableCard) // everything distinct in the sample: key-like
+	}
+	est := int64(float64(d) / denom)
+	if est < d {
+		est = d
+	}
+	if est > int64(tableCard) {
+		est = int64(tableCard)
+	}
+	return est
+}
+
+// SelectivityFloor is the smallest selectivity a sample of the given size
+// can credibly assert; observed-zero groups are floored to half a row to
+// avoid zero cardinality estimates downstream.
+func SelectivityFloor(sampleSize int) float64 {
+	if sampleSize <= 0 {
+		return 0.001
+	}
+	return 0.5 / float64(sampleSize)
+}

@@ -1,0 +1,172 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/qgm"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func numberTable(t *testing.T, n int) *storage.Table {
+	t.Helper()
+	tbl := storage.NewTable("t", storage.MustSchema(
+		storage.Column{Name: "v", Kind: value.KindInt},
+		storage.Column{Name: "parity", Kind: value.KindString},
+	))
+	rows := make([][]value.Datum, n)
+	for i := 0; i < n; i++ {
+		p := "even"
+		if i%2 == 1 {
+			p = "odd"
+		}
+		rows[i] = []value.Datum{value.NewInt(int64(i)), value.NewString(p)}
+	}
+	if err := tbl.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestRowsSmallTableCopiedWhole(t *testing.T) {
+	tbl := numberTable(t, 50)
+	var meter costmodel.Meter
+	w := costmodel.DefaultWeights()
+	got := New(1).Rows(tbl, 100, &meter, w)
+	if len(got) != 50 {
+		t.Errorf("sample = %d rows, want all 50", len(got))
+	}
+	if meter.Units() != w.SampleRow*50 {
+		t.Errorf("meter = %v", meter.Units())
+	}
+}
+
+func TestRowsLargeTableSampledWithoutReplacement(t *testing.T) {
+	tbl := numberTable(t, 10000)
+	var meter costmodel.Meter
+	got := New(42).Rows(tbl, 500, &meter, costmodel.DefaultWeights())
+	if len(got) != 500 {
+		t.Fatalf("sample = %d rows, want 500", len(got))
+	}
+	seen := make(map[int64]bool)
+	for _, row := range got {
+		v := row[0].Int()
+		if seen[v] {
+			t.Fatalf("value %d sampled twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRowsDeterministicBySeed(t *testing.T) {
+	tbl := numberTable(t, 5000)
+	var m costmodel.Meter
+	a := New(7).Rows(tbl, 100, &m, costmodel.DefaultWeights())
+	b := New(7).Rows(tbl, 100, &m, costmodel.DefaultWeights())
+	for i := range a {
+		if a[i][0] != b[i][0] {
+			t.Fatal("same seed must give same sample")
+		}
+	}
+}
+
+func TestRowsEmptyAndZero(t *testing.T) {
+	tbl := numberTable(t, 0)
+	var m costmodel.Meter
+	if got := New(1).Rows(tbl, 10, &m, costmodel.DefaultWeights()); got != nil {
+		t.Errorf("empty table sample = %v", got)
+	}
+	tbl2 := numberTable(t, 10)
+	if got := New(1).Rows(tbl2, 0, &m, costmodel.DefaultWeights()); got != nil {
+		t.Errorf("zero-size sample = %v", got)
+	}
+}
+
+func TestRowsRepresentative(t *testing.T) {
+	tbl := numberTable(t, 20000)
+	var m costmodel.Meter
+	sample := New(3).Rows(tbl, 2000, &m, costmodel.DefaultWeights())
+	odd := 0
+	for _, row := range sample {
+		if row[1].Str() == "odd" {
+			odd++
+		}
+	}
+	frac := float64(odd) / float64(len(sample))
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Errorf("odd fraction = %v, want ≈0.5", frac)
+	}
+}
+
+func TestEvaluateGroups(t *testing.T) {
+	// Sample of 10 rows: v = 0..9, parity strings.
+	sample := make([][]value.Datum, 10)
+	for i := range sample {
+		p := "even"
+		if i%2 == 1 {
+			p = "odd"
+		}
+		sample[i] = []value.Datum{value.NewInt(int64(i)), value.NewString(p)}
+	}
+	pv5 := qgm.Predicate{Column: "v", Ordinal: 0, Op: qgm.OpGE, Value: value.NewInt(5)}
+	podd := qgm.Predicate{Column: "parity", Ordinal: 1, Op: qgm.OpEQ, Value: value.NewString("odd")}
+	groups := [][]qgm.Predicate{
+		{pv5},       // 5..9 -> 0.5
+		{podd},      // 1,3,5,7,9 -> 0.5
+		{pv5, podd}, // 5,7,9 -> 0.3
+		{},          // empty group -> 1
+	}
+	var meter costmodel.Meter
+	w := costmodel.DefaultWeights()
+	sel := EvaluateGroups(sample, groups, &meter, w)
+	want := []float64{0.5, 0.5, 0.3, 1}
+	for i := range want {
+		if math.Abs(sel[i]-want[i]) > 1e-12 {
+			t.Errorf("group %d selectivity = %v, want %v", i, sel[i], want[i])
+		}
+	}
+	// Shared vectors: only 2 distinct predicates evaluated.
+	if got := meter.Units(); got != w.PredEval*float64(len(sample))*2 {
+		t.Errorf("meter = %v, want cost of 2 predicate vectors", got)
+	}
+}
+
+func TestEvaluateGroupsEmptySample(t *testing.T) {
+	var meter costmodel.Meter
+	groups := [][]qgm.Predicate{{{Column: "v", Op: qgm.OpEQ, Value: value.NewInt(1)}}}
+	sel := EvaluateGroups(nil, groups, &meter, costmodel.DefaultWeights())
+	if len(sel) != 1 || sel[0] != 0 {
+		t.Errorf("sel = %v", sel)
+	}
+}
+
+func TestSelectivityFloor(t *testing.T) {
+	if got := SelectivityFloor(2000); got != 0.5/2000 {
+		t.Errorf("floor(2000) = %v", got)
+	}
+	if got := SelectivityFloor(0); got != 0.001 {
+		t.Errorf("floor(0) = %v", got)
+	}
+	if got := SelectivityFloor(-5); got != 0.001 {
+		t.Errorf("floor(-5) = %v", got)
+	}
+}
+
+func BenchmarkSample2000From100k(b *testing.B) {
+	tbl := storage.NewTable("t", storage.MustSchema(storage.Column{Name: "v", Kind: value.KindInt}))
+	rows := make([][]value.Datum, 100000)
+	for i := range rows {
+		rows[i] = []value.Datum{value.NewInt(int64(i))}
+	}
+	if err := tbl.InsertBatch(rows); err != nil {
+		b.Fatal(err)
+	}
+	s := New(1)
+	var m costmodel.Meter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Rows(tbl, 2000, &m, costmodel.DefaultWeights())
+	}
+}

@@ -1,0 +1,214 @@
+// Package sqlparser implements the SQL front end of the engine: a lexer and
+// a recursive-descent parser producing an AST that the rewriter lowers into
+// the Query Graph Model. The dialect covers the paper's scope — conjunctive
+// select-project-join queries with aggregates, plus the DML the workload
+// needs (INSERT/UPDATE/DELETE) and DDL (CREATE TABLE / CREATE INDEX).
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // ( ) , . ; *
+	tokOp     // = <> != < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are uppercased, identifiers lowercased
+	pos  int    // byte offset in the input, for error messages
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "AS": true, "BETWEEN": true, "IN": true, "GROUP": true,
+	"BY": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "CREATE": true, "TABLE": true, "INDEX": true, "ON": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"INT": true, "FLOAT": true, "STRING": true, "NULL": true, "DISTINCT": true,
+	"EXPLAIN": true,
+}
+
+// lexError reports a scanning problem with its byte offset.
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("sql: lex error at offset %d: %s", e.pos, e.msg)
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, &lexError{pos: start, msg: "unterminated string literal"}
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9' && startsValue(toks)):
+			start := i
+			if c == '-' {
+				i++
+			}
+			seenDot, seenExp := false, false
+			for i < n {
+				d := input[i]
+				if d >= '0' && d <= '9' {
+					i++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					i++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp {
+					seenExp = true
+					i++
+					if i < n && (input[i] == '+' || input[i] == '-') {
+						i++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case c >= utf8.RuneSelf || isIdentStart(rune(c)):
+			start := i
+			r, size := utf8.DecodeRuneInString(input[i:])
+			if !isIdentStart(r) {
+				return nil, &lexError{pos: start, msg: fmt.Sprintf("unexpected character %q", r)}
+			}
+			i += size
+			for i < n {
+				r, size = utf8.DecodeRuneInString(input[i:])
+				if !isIdentPart(r) {
+					break
+				}
+				i += size
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: strings.ToLower(word), pos: start})
+			}
+		default:
+			start := i
+			switch c {
+			case '(', ')', ',', '.', ';', '*':
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: start})
+				i++
+			case '=':
+				toks = append(toks, token{kind: tokOp, text: "=", pos: start})
+				i++
+			case '<':
+				if i+1 < n && input[i+1] == '=' {
+					toks = append(toks, token{kind: tokOp, text: "<=", pos: start})
+					i += 2
+				} else if i+1 < n && input[i+1] == '>' {
+					toks = append(toks, token{kind: tokOp, text: "<>", pos: start})
+					i += 2
+				} else {
+					toks = append(toks, token{kind: tokOp, text: "<", pos: start})
+					i++
+				}
+			case '>':
+				if i+1 < n && input[i+1] == '=' {
+					toks = append(toks, token{kind: tokOp, text: ">=", pos: start})
+					i += 2
+				} else {
+					toks = append(toks, token{kind: tokOp, text: ">", pos: start})
+					i++
+				}
+			case '!':
+				if i+1 < n && input[i+1] == '=' {
+					toks = append(toks, token{kind: tokOp, text: "<>", pos: start})
+					i += 2
+				} else {
+					return nil, &lexError{pos: start, msg: "unexpected '!'"}
+				}
+			case '-':
+				// A '-' that is not a numeric sign: unsupported arithmetic.
+				return nil, &lexError{pos: start, msg: "unexpected '-' (arithmetic expressions are not supported)"}
+			default:
+				return nil, &lexError{pos: start, msg: fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, text: "", pos: n})
+	return toks, nil
+}
+
+// startsValue reports whether a '-' at the current position begins a negative
+// numeric literal: true after operators, commas, opening parens, and the
+// value-introducing keywords.
+func startsValue(toks []token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	last := toks[len(toks)-1]
+	switch last.kind {
+	case tokOp:
+		return true
+	case tokSymbol:
+		return last.text == "(" || last.text == ","
+	case tokKeyword:
+		switch last.text {
+		case "BETWEEN", "AND", "IN", "VALUES", "SET", "LIMIT", "WHERE":
+			return true
+		}
+	}
+	return false
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

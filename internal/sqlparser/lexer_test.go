@@ -1,0 +1,184 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexComments(t *testing.T) {
+	toks, err := lex("SELECT -- trailing comment at EOF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 2 || toks[0].text != "SELECT" || toks[1].kind != tokEOF {
+		t.Errorf("tokens = %+v", toks)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]string{
+		"42":     "42",
+		"2.5":    "2.5",
+		"1e3":    "1e3",
+		"1E+3":   "1E+3",
+		"2.5e-1": "2.5e-1",
+		"1.2.3":  "1.2", // second dot ends the number
+	}
+	for in, want := range cases {
+		toks, err := lex(in)
+		if err != nil {
+			t.Fatalf("lex(%q): %v", in, err)
+		}
+		if toks[0].kind != tokNumber || toks[0].text != want {
+			t.Errorf("lex(%q) first token = %q (%d)", in, toks[0].text, toks[0].kind)
+		}
+	}
+}
+
+func TestLexNegativeNumberContexts(t *testing.T) {
+	// After an operator: a sign.
+	toks, err := lex("x = -5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].kind != tokNumber || toks[2].text != "-5" {
+		t.Errorf("tokens = %+v", toks)
+	}
+	// After an identifier: arithmetic, rejected.
+	if _, err := lex("x -5"); err == nil {
+		t.Error("identifier minus number must be rejected")
+	}
+	// In a VALUES list and after commas and parens.
+	toks, err = lex("VALUES (-1, -2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nums := 0
+	for _, tok := range toks {
+		if tok.kind == tokNumber {
+			nums++
+			if !strings.HasPrefix(tok.text, "-") {
+				t.Errorf("number %q lost its sign", tok.text)
+			}
+		}
+	}
+	if nums != 2 {
+		t.Errorf("numbers = %d", nums)
+	}
+	// At the very start of the input.
+	toks, err = lex("-7")
+	if err != nil || toks[0].text != "-7" {
+		t.Errorf("leading negative: %+v, %v", toks, err)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, in := range []string{"x ! y", "#", "a @ b", "'open"} {
+		if _, err := lex(in); err == nil {
+			t.Errorf("lex(%q): expected error", in)
+		}
+	}
+	// Error messages carry offsets.
+	_, err := lex("abc #")
+	if err == nil || !strings.Contains(err.Error(), "offset 4") {
+		t.Errorf("error = %v, want offset 4", err)
+	}
+}
+
+func TestLexBangEquals(t *testing.T) {
+	toks, err := lex("a != b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].kind != tokOp || toks[1].text != "<>" {
+		t.Errorf("!= normalized to %q", toks[1].text)
+	}
+}
+
+func TestLexUnicodeIdentifiers(t *testing.T) {
+	toks, err := lex("sélect_col")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokIdent || toks[0].text != "sélect_col" {
+		t.Errorf("unicode ident = %+v", toks[0])
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := lex("'a''b'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokString || toks[0].text != "a'b" {
+		t.Errorf("escaped string = %q", toks[0].text)
+	}
+	// Empty string literal.
+	toks, err = lex("''")
+	if err != nil || toks[0].text != "" {
+		t.Errorf("empty string = %+v, %v", toks, err)
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	stmt, err := Parse(`EXPLAIN SELECT a FROM t WHERE a > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := stmt.(*ExplainStmt)
+	if !ok {
+		t.Fatalf("stmt = %T", stmt)
+	}
+	if len(ex.Select.Where) != 1 {
+		t.Errorf("inner where = %d", len(ex.Select.Where))
+	}
+	if _, err := Parse(`EXPLAIN DELETE FROM t`); err == nil {
+		t.Error("EXPLAIN DELETE must fail")
+	}
+}
+
+func TestParseInSubqueryAST(t *testing.T) {
+	stmt, err := Parse(`SELECT a FROM t WHERE b IN (SELECT c FROM u WHERE d = 1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*SelectStmt)
+	sub, ok := sel.Where[0].(*InSubquery)
+	if !ok {
+		t.Fatalf("where[0] = %T", sel.Where[0])
+	}
+	if sub.Col.Column != "b" || len(sub.Select.Where) != 1 {
+		t.Errorf("subquery = %+v", sub)
+	}
+	if got := sub.String(); got != "b IN (SELECT ...)" {
+		t.Errorf("String() = %q", got)
+	}
+	// Missing closing paren.
+	if _, err := Parse(`SELECT a FROM t WHERE b IN (SELECT c FROM u`); err == nil {
+		t.Error("unclosed subquery must fail")
+	}
+}
+
+func TestAggKindStrings(t *testing.T) {
+	want := map[AggKind]string{
+		AggNone: "", AggCount: "COUNT", AggSum: "SUM",
+		AggAvg: "AVG", AggMin: "MIN", AggMax: "MAX",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestCompareOpStrings(t *testing.T) {
+	want := map[CompareOp]string{
+		OpEQ: "=", OpNE: "<>", OpLT: "<", OpLE: "<=",
+		OpGT: ">", OpGE: ">=", CompareOp(9): "?",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("op %d = %q, want %q", op, op.String(), s)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package storage implements the in-memory table store underlying the
+// engine. It plays the role DB2's storage layer plays for the paper's
+// prototype: it holds rows, serves scans to the executor and the sampling
+// module, and — crucially for JITS — maintains the per-table UDI counter
+// (updates, deletes, inserts since the last statistics collection) that the
+// sensitivity analysis consumes as its data-activity signal s2.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/value"
+)
+
+// Column describes one column of a table schema.
+type Column struct {
+	Name string
+	Kind value.Kind
+}
+
+// Schema is an ordered list of columns with name lookup.
+type Schema struct {
+	cols   []Column
+	byName map[string]int
+}
+
+// NewSchema builds a schema from columns. Column names must be unique
+// (case-sensitive; the parser lowercases identifiers before they get here).
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{cols: append([]Column(nil), cols...), byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("storage: empty column name at position %d", i)
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("storage: duplicate column %q", c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and generators.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumColumns returns the column count.
+func (s *Schema) NumColumns() int { return len(s.cols) }
+
+// Column returns the i-th column.
+func (s *Schema) Column(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column { return append([]Column(nil), s.cols...) }
+
+// Ordinal resolves a column name to its position.
+func (s *Schema) Ordinal(name string) (int, bool) {
+	i, ok := s.byName[name]
+	return i, ok
+}
+
+// UDI is the paper's update/delete/insert activity counter. It accumulates
+// from the moment statistics were last collected on the table and is reset
+// by the statistics-collection module.
+type UDI struct {
+	Updates int64
+	Deletes int64
+	Inserts int64
+}
+
+// Total is the aggregate activity the sensitivity analysis divides by the
+// table cardinality to obtain s2.
+func (u UDI) Total() int64 { return u.Updates + u.Deletes + u.Inserts }
+
+// Table is an in-memory heap of rows with a fixed schema.
+//
+// Mutations bump a version counter so that secondary indexes and cached
+// statistics can detect staleness cheaply. All methods are safe for
+// concurrent use.
+type Table struct {
+	mu      sync.RWMutex
+	name    string
+	schema  *Schema
+	rows    [][]value.Datum
+	version uint64
+	udi     UDI
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema *Schema) *Table {
+	return &Table{name: name, schema: schema}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// RowCount returns the current cardinality.
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Version returns the mutation counter; any insert, update or delete
+// increments it.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// UDICounter returns the activity accumulated since the last ResetUDI.
+func (t *Table) UDICounter() UDI {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.udi
+}
+
+// ResetUDI zeroes the activity counter; statistics collection calls this
+// after refreshing the table's statistics.
+func (t *Table) ResetUDI() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.udi = UDI{}
+}
+
+func (t *Table) checkRow(row []value.Datum) error {
+	if len(row) != len(t.schema.cols) {
+		return fmt.Errorf("storage: table %s expects %d columns, got %d", t.name, len(t.schema.cols), len(row))
+	}
+	for i, d := range row {
+		if d.IsNull() {
+			continue
+		}
+		if d.Kind() != t.schema.cols[i].Kind {
+			return fmt.Errorf("storage: table %s column %s expects %s, got %s",
+				t.name, t.schema.cols[i].Name, t.schema.cols[i].Kind, d.Kind())
+		}
+	}
+	return nil
+}
+
+// Insert appends one row after validating it against the schema.
+func (t *Table) Insert(row []value.Datum) error {
+	if err := t.checkRow(row); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = append(t.rows, append([]value.Datum(nil), row...))
+	t.version++
+	t.udi.Inserts++
+	return nil
+}
+
+// InsertBatch appends many rows with a single lock acquisition and a single
+// version bump; the UDI counter still counts every row.
+func (t *Table) InsertBatch(rows [][]value.Datum) error {
+	for _, r := range rows {
+		if err := t.checkRow(r); err != nil {
+			return err
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range rows {
+		t.rows = append(t.rows, append([]value.Datum(nil), r...))
+	}
+	t.version++
+	t.udi.Inserts += int64(len(rows))
+	return nil
+}
+
+// Scan invokes fn for every row in storage order until fn returns false.
+// The row slice is shared — callers must copy it if they retain it. The
+// table lock is held for the duration of the scan.
+func (t *Table) Scan(fn func(rowIdx int, row []value.Datum) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i, r := range t.rows {
+		if !fn(i, r) {
+			return
+		}
+	}
+}
+
+// Row returns a copy of the row at position idx.
+func (t *Table) Row(idx int) ([]value.Datum, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if idx < 0 || idx >= len(t.rows) {
+		return nil, fmt.Errorf("storage: row %d out of range [0,%d)", idx, len(t.rows))
+	}
+	return append([]value.Datum(nil), t.rows[idx]...), nil
+}
+
+// UpdateWhere applies set to every row matching pred and returns the number
+// of rows changed. set mutates the row in place; the schema is re-validated
+// afterwards.
+func (t *Table) UpdateWhere(pred func(row []value.Datum) bool, set func(row []value.Datum)) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, r := range t.rows {
+		if !pred(r) {
+			continue
+		}
+		set(r)
+		if err := t.checkRow(r); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if n > 0 {
+		t.version++
+		t.udi.Updates += int64(n)
+	}
+	return n, nil
+}
+
+// DeleteWhere removes every row matching pred (order is not preserved; the
+// last row is swapped into the hole) and returns the number removed.
+func (t *Table) DeleteWhere(pred func(row []value.Datum) bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := 0; i < len(t.rows); {
+		if pred(t.rows[i]) {
+			last := len(t.rows) - 1
+			t.rows[i] = t.rows[last]
+			t.rows[last] = nil
+			t.rows = t.rows[:last]
+			n++
+			continue // re-examine the swapped-in row
+		}
+		i++
+	}
+	if n > 0 {
+		t.version++
+		t.udi.Deletes += int64(n)
+	}
+	return n
+}
+
+// ColumnValues returns a copy of one column's datums; used by RUNSTATS-style
+// full statistics collection.
+func (t *Table) ColumnValues(ordinal int) []value.Datum {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]value.Datum, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = r[ordinal]
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+// Package value defines the typed datum model shared by every layer of the
+// engine: storage rows, predicate constants, histogram coordinates and
+// optimizer estimates all traffic in Datum values.
+//
+// A Datum is a small immutable value of one of four kinds: NULL, 64-bit
+// integer, 64-bit float, or string. Datums are comparable with == (they
+// contain no pointers beside the string header) and therefore usable as map
+// keys, which the executor exploits for hash joins and grouping.
+//
+// For histogram interpolation the package provides an order-preserving
+// mapping from any datum to a float64 coordinate (Coord). Categorical and
+// character data are mapped through a prefix encoding so that range
+// arithmetic — bucket widths, boundary distances — is meaningful for them
+// too, exactly as the paper prescribes ("categorical and character data
+// types can be represented as numerical values using a mapping function to
+// allow for interpolation").
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime type of a Datum.
+type Kind uint8
+
+// The supported datum kinds. KindNull sorts before every other kind;
+// numeric kinds (int, float) compare with each other numerically.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+)
+
+// String returns the lowercase SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Datum is one typed value. The zero Datum is NULL.
+type Datum struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null is the SQL NULL datum.
+var Null = Datum{}
+
+// NewInt returns an integer datum.
+func NewInt(v int64) Datum { return Datum{kind: KindInt, i: v} }
+
+// NewFloat returns a float datum.
+func NewFloat(v float64) Datum { return Datum{kind: KindFloat, f: v} }
+
+// NewString returns a string datum.
+func NewString(v string) Datum { return Datum{kind: KindString, s: v} }
+
+// NewBool returns the engine's boolean encoding: integers 0 and 1.
+func NewBool(v bool) Datum {
+	if v {
+		return NewInt(1)
+	}
+	return NewInt(0)
+}
+
+// Kind reports the datum's kind.
+func (d Datum) Kind() Kind { return d.kind }
+
+// IsNull reports whether the datum is NULL.
+func (d Datum) IsNull() bool { return d.kind == KindNull }
+
+// Int returns the integer payload; it panics when the kind is not KindInt.
+func (d Datum) Int() int64 {
+	if d.kind != KindInt {
+		panic(fmt.Sprintf("value: Int() on %s datum", d.kind))
+	}
+	return d.i
+}
+
+// Float returns the float payload; it panics when the kind is not KindFloat.
+func (d Datum) Float() float64 {
+	if d.kind != KindFloat {
+		panic(fmt.Sprintf("value: Float() on %s datum", d.kind))
+	}
+	return d.f
+}
+
+// Str returns the string payload; it panics when the kind is not KindString.
+func (d Datum) Str() string {
+	if d.kind != KindString {
+		panic(fmt.Sprintf("value: Str() on %s datum", d.kind))
+	}
+	return d.s
+}
+
+// AsFloat converts numeric datums to float64. Strings and NULL report ok=false.
+func (d Datum) AsFloat() (v float64, ok bool) {
+	switch d.kind {
+	case KindInt:
+		return float64(d.i), true
+	case KindFloat:
+		return d.f, true
+	default:
+		return 0, false
+	}
+}
+
+// String renders the datum for display and plan explanation.
+func (d Datum) String() string {
+	switch d.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(d.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(d.f, 'g', -1, 64)
+	case KindString:
+		return "'" + strings.ReplaceAll(d.s, "'", "''") + "'"
+	default:
+		return "?"
+	}
+}
+
+// Compare returns -1, 0 or +1 ordering d before, equal to, or after other.
+//
+// NULL sorts first. Int and float compare numerically with each other.
+// Strings compare lexicographically. Across incomparable kinds (number vs.
+// string) the kind order breaks the tie so that Compare is a total order,
+// which the sort operators and index structures rely on.
+func (d Datum) Compare(other Datum) int {
+	if d.kind == KindNull || other.kind == KindNull {
+		switch {
+		case d.kind == KindNull && other.kind == KindNull:
+			return 0
+		case d.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	dNum, dOK := d.AsFloat()
+	oNum, oOK := other.AsFloat()
+	switch {
+	case dOK && oOK:
+		// Exact path for int/int to dodge float rounding on huge values.
+		if d.kind == KindInt && other.kind == KindInt {
+			switch {
+			case d.i < other.i:
+				return -1
+			case d.i > other.i:
+				return 1
+			default:
+				return 0
+			}
+		}
+		switch {
+		case dNum < oNum:
+			return -1
+		case dNum > oNum:
+			return 1
+		default:
+			return 0
+		}
+	case !dOK && !oOK:
+		return strings.Compare(d.s, other.s)
+	case dOK: // number vs string: numbers first
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Equal reports whether the datums compare equal. NULL equals nothing,
+// including NULL, matching SQL comparison semantics (use Compare for the
+// total order used by sorting, where NULLs group together).
+func (d Datum) Equal(other Datum) bool {
+	if d.kind == KindNull || other.kind == KindNull {
+		return false
+	}
+	return d.Compare(other) == 0
+}
+
+// Coord maps the datum onto the real line preserving order within its kind.
+//
+// Integers and floats map to their numeric value. Strings map through a
+// 6-byte big-endian prefix packed into a float64, so lexicographic order is
+// preserved for the first six bytes — sufficient for histogram bucket
+// arithmetic over categorical columns. NULL maps to -Inf so it always lands
+// in the leftmost bucket.
+func (d Datum) Coord() float64 {
+	switch d.kind {
+	case KindNull:
+		return math.Inf(-1)
+	case KindInt:
+		return float64(d.i)
+	case KindFloat:
+		return d.f
+	case KindString:
+		return StringCoord(d.s)
+	default:
+		return 0
+	}
+}
+
+// StringCoord is the order-preserving string→float mapping used by Coord.
+// It packs up to 6 leading bytes big-endian into a 48-bit integer and
+// converts to float64. Forty-eight bits fit exactly in a float64 mantissa,
+// so distinct prefixes map to distinct coordinates and adjacent coordinates
+// differ by at least 1 — which lets histogram code form equality boxes as
+// [coord, coord+1). Ties beyond the 6th byte collapse to the same
+// coordinate, which only costs histogram resolution, never correctness
+// (exact predicate evaluation always uses the datum itself).
+func StringCoord(s string) float64 {
+	var packed uint64
+	for i := 0; i < 6; i++ {
+		packed <<= 8
+		if i < len(s) {
+			packed |= uint64(s[i])
+		}
+	}
+	return float64(packed)
+}
+
+// ParseLiteral converts a SQL literal text into a Datum. Quoted forms are
+// handled by the lexer; this accepts the raw payload plus a hint.
+func ParseLiteral(text string, isString bool) (Datum, error) {
+	if isString {
+		return NewString(text), nil
+	}
+	if strings.EqualFold(text, "null") {
+		return Null, nil
+	}
+	if i, err := strconv.ParseInt(text, 10, 64); err == nil {
+		return NewInt(i), nil
+	}
+	if f, err := strconv.ParseFloat(text, 64); err == nil {
+		return NewFloat(f), nil
+	}
+	return Null, fmt.Errorf("value: cannot parse literal %q", text)
+}

@@ -1,0 +1,334 @@
+// Package workload reproduces the paper's experimental setup: a generated
+// car-insurance database of four relations — CAR, OWNER, DEMOGRAPHICS and
+// ACCIDENTS — with primary-key-to-foreign-key relationships and strong
+// attribute correlations (Make determines Model, City determines Country,
+// salary follows city, accident damage follows severity), plus the
+// 840-query workload with interleaved data updates used in §4.2–4.3.
+//
+// Sizes follow the paper's Table 2 ratios at a configurable scale factor
+// (scale 1.0 = the paper's full sizes; the default benchmarks run at 0.01).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/value"
+)
+
+// Paper table sizes (Table 2).
+const (
+	PaperCarRows          = 1430798
+	PaperOwnerRows        = 1000000
+	PaperDemographicsRows = 1000000
+	PaperAccidentsRows    = 4289980
+)
+
+// Spec configures dataset generation.
+type Spec struct {
+	// Scale multiplies the paper's Table 2 sizes; 0.01 (the default) gives
+	// ≈14.3k cars / 10k owners / 10k demographics / 42.9k accidents.
+	Scale float64
+	// Seed drives all pseudo-randomness; equal seeds give equal datasets.
+	Seed int64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Scale <= 0 {
+		s.Scale = 0.01
+	}
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	return s
+}
+
+// Rows returns the generated size of each table under the spec.
+func (s Spec) Rows() map[string]int {
+	s = s.withDefaults()
+	scale := func(n int) int {
+		v := int(math.Round(float64(n) * s.Scale))
+		if v < 10 {
+			v = 10
+		}
+		return v
+	}
+	return map[string]int{
+		"car":          scale(PaperCarRows),
+		"owner":        scale(PaperOwnerRows),
+		"demographics": scale(PaperDemographicsRows),
+		"accidents":    scale(PaperAccidentsRows),
+	}
+}
+
+// makeInfo carries one make's model list and price tier. Model choice is
+// skewed toward the first entries, so Make and Model are strongly
+// correlated — the optimizer's independence assumption fails badly on
+// (make, model) pairs.
+type makeInfo struct {
+	name   string
+	weight float64
+	models []string
+	price  float64 // base price
+}
+
+var makes = []makeInfo{
+	{"Toyota", 0.20, []string{"Camry", "Corolla", "RAV4"}, 26000},
+	{"Honda", 0.15, []string{"Civic", "Accord", "CRV"}, 25000},
+	{"Ford", 0.12, []string{"F150", "Focus", "Escape"}, 28000},
+	{"Chevrolet", 0.10, []string{"Silverado", "Malibu"}, 27000},
+	{"Volkswagen", 0.09, []string{"Golf", "Jetta", "Passat"}, 24000},
+	{"BMW", 0.08, []string{"X5", "M3", "328i"}, 52000},
+	{"Audi", 0.07, []string{"A4", "Q5"}, 48000},
+	{"Nissan", 0.07, []string{"Altima", "Sentra"}, 23000},
+	{"Hyundai", 0.07, []string{"Elantra", "Sonata"}, 21000},
+	{"Kia", 0.05, []string{"Sorento", "Rio"}, 20000},
+}
+
+type cityInfo struct {
+	name    string
+	country string
+	weight  float64
+	wealth  float64 // salary multiplier
+}
+
+var cities = []cityInfo{
+	{"Ottawa", "CA", 0.14, 1.1},
+	{"Toronto", "CA", 0.16, 1.2},
+	{"Waterloo", "CA", 0.06, 1.0},
+	{"Kingston", "CA", 0.04, 0.9},
+	{"Montreal", "CA", 0.10, 1.0},
+	{"Boston", "US", 0.10, 1.4},
+	{"Seattle", "US", 0.08, 1.5},
+	{"Austin", "US", 0.06, 1.2},
+	{"Chicago", "US", 0.08, 1.3},
+	{"Berlin", "DE", 0.06, 1.1},
+	{"Munich", "DE", 0.04, 1.3},
+	{"London", "UK", 0.05, 1.4},
+	{"Paris", "FR", 0.03, 1.2},
+}
+
+var colors = []string{"white", "black", "silver", "blue", "red", "gray", "green", "brown"}
+
+var educations = []string{"highschool", "college", "bachelor", "master", "phd"}
+
+// Dataset is a loaded database plus the value pools the query generator
+// draws realistic constants from.
+type Dataset struct {
+	Spec Spec
+	rng  *rand.Rand
+
+	ownerCity []int // owner id → city index
+	carMake   []int // car id → make index
+	carOwner  []int // car id → owner id
+	rows      map[string]int
+}
+
+func pickWeighted(r *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Load generates the dataset into the engine: DDL, indexes, and bulk rows.
+// Bulk loading writes through the storage layer directly (an engine would
+// use a LOAD utility, not per-row INSERT statements); UDI counters are
+// reset afterwards so the freshly loaded state counts as "clean".
+func Load(e *engine.Engine, spec Spec) (*Dataset, error) {
+	spec = spec.withDefaults()
+	d := &Dataset{
+		Spec: spec,
+		rng:  rand.New(rand.NewSource(spec.Seed)),
+		rows: spec.Rows(),
+	}
+
+	ddl := []string{
+		`CREATE TABLE car (id INT, ownerid INT, make STRING, model STRING, year INT, price FLOAT, color STRING)`,
+		`CREATE TABLE owner (id INT, name STRING, city STRING, country STRING, salary FLOAT)`,
+		`CREATE TABLE demographics (id INT, ownerid INT, age INT, gender STRING, children INT, education STRING)`,
+		`CREATE TABLE accidents (id INT, carid INT, driver STRING, damage FLOAT, year INT, severity INT, location STRING)`,
+		// Key/foreign-key indexes for the join edges.
+		`CREATE INDEX ix_car_id ON car (id)`,
+		`CREATE INDEX ix_car_ownerid ON car (ownerid)`,
+		`CREATE INDEX ix_owner_id ON owner (id)`,
+		`CREATE INDEX ix_demo_ownerid ON demographics (ownerid)`,
+		`CREATE INDEX ix_acc_carid ON accidents (carid)`,
+		// Secondary indexes on filtered columns: these make access-path
+		// selection a real decision — a selectivity underestimate makes the
+		// optimizer choose a random-access index scan that a full scan
+		// would beat, which is exactly the class of mistake stale or
+		// missing statistics cause.
+		`CREATE INDEX ix_car_make ON car (make)`,
+		`CREATE INDEX ix_car_year ON car (year)`,
+		`CREATE INDEX ix_owner_city ON owner (city)`,
+		`CREATE INDEX ix_owner_salary ON owner (salary)`,
+		`CREATE INDEX ix_acc_severity ON accidents (severity)`,
+		`CREATE INDEX ix_acc_damage ON accidents (damage)`,
+		`CREATE INDEX ix_demo_age ON demographics (age)`,
+	}
+	for _, sql := range ddl {
+		if _, err := e.Exec(sql); err != nil {
+			return nil, fmt.Errorf("workload: %s: %w", sql, err)
+		}
+	}
+
+	makeWeights := make([]float64, len(makes))
+	for i, m := range makes {
+		makeWeights[i] = m.weight
+	}
+	cityWeights := make([]float64, len(cities))
+	for i, c := range cities {
+		cityWeights[i] = c.weight
+	}
+
+	// OWNER.
+	nOwner := d.rows["owner"]
+	d.ownerCity = make([]int, nOwner)
+	ownerRows := make([][]value.Datum, nOwner)
+	for i := 0; i < nOwner; i++ {
+		ci := pickWeighted(d.rng, cityWeights)
+		d.ownerCity[i] = ci
+		city := cities[ci]
+		salary := 28000 * city.wealth * math.Exp(d.rng.NormFloat64()*0.5)
+		ownerRows[i] = []value.Datum{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("owner%06d", i)),
+			value.NewString(city.name),
+			value.NewString(city.country),
+			value.NewFloat(math.Round(salary)),
+		}
+	}
+	if err := bulkInsert(e, "owner", ownerRows); err != nil {
+		return nil, err
+	}
+
+	// CAR.
+	nCar := d.rows["car"]
+	d.carMake = make([]int, nCar)
+	d.carOwner = make([]int, nCar)
+	carRows := make([][]value.Datum, nCar)
+	for i := 0; i < nCar; i++ {
+		mi := pickWeighted(d.rng, makeWeights)
+		d.carMake[i] = mi
+		mk := makes[mi]
+		// Model skew: first model ~55%, then tail.
+		modelWeights := make([]float64, len(mk.models))
+		for j := range modelWeights {
+			modelWeights[j] = 1 / float64(j+1)
+		}
+		model := mk.models[pickWeighted(d.rng, modelWeights)]
+		year := 1995 + int(math.Abs(d.rng.NormFloat64())*4)%16
+		ownerID := d.rng.Intn(nOwner)
+		d.carOwner[i] = ownerID
+		price := mk.price * (0.7 + d.rng.Float64()*0.6) * (1 - 0.03*float64(2010-year))
+		carRows[i] = []value.Datum{
+			value.NewInt(int64(i)),
+			value.NewInt(int64(ownerID)),
+			value.NewString(mk.name),
+			value.NewString(model),
+			value.NewInt(int64(year)),
+			value.NewFloat(math.Round(price)),
+			value.NewString(colors[d.rng.Intn(len(colors))]),
+		}
+	}
+	if err := bulkInsert(e, "car", carRows); err != nil {
+		return nil, err
+	}
+
+	// DEMOGRAPHICS: one row per owner, education correlated with salary.
+	nDemo := d.rows["demographics"]
+	demoRows := make([][]value.Datum, nDemo)
+	for i := 0; i < nDemo; i++ {
+		ownerID := i % nOwner
+		salary, _ := ownerRows[ownerID][4].AsFloat()
+		eduIdx := int(math.Min(float64(len(educations)-1), math.Max(0, (salary-15000)/20000+d.rng.NormFloat64())))
+		gender := "M"
+		if d.rng.Intn(2) == 0 {
+			gender = "F"
+		}
+		demoRows[i] = []value.Datum{
+			value.NewInt(int64(i)),
+			value.NewInt(int64(ownerID)),
+			value.NewInt(int64(18 + d.rng.Intn(68))),
+			value.NewString(gender),
+			value.NewInt(int64(d.rng.Intn(5))),
+			value.NewString(educations[eduIdx]),
+		}
+	}
+	if err := bulkInsert(e, "demographics", demoRows); err != nil {
+		return nil, err
+	}
+
+	// ACCIDENTS: damage driven by severity; the accident location is the
+	// owner's city 80% of the time (a cross-table correlation). The column
+	// is named location, not city, so the paper query's unqualified "city"
+	// resolves uniquely to OWNER.
+	nAcc := d.rows["accidents"]
+	accRows := make([][]value.Datum, nAcc)
+	sevWeights := []float64{0.40, 0.25, 0.18, 0.10, 0.07}
+	for i := 0; i < nAcc; i++ {
+		carID := d.rng.Intn(nCar)
+		severity := pickWeighted(d.rng, sevWeights) + 1
+		damage := float64(severity) * (500 + d.rng.Float64()*2500)
+		city := cities[d.ownerCity[d.carOwner[carID]]].name
+		if d.rng.Float64() > 0.8 {
+			city = cities[d.rng.Intn(len(cities))].name
+		}
+		accRows[i] = []value.Datum{
+			value.NewInt(int64(i)),
+			value.NewInt(int64(carID)),
+			value.NewString(fmt.Sprintf("driver%05d", d.rng.Intn(nOwner))),
+			value.NewFloat(math.Round(damage)),
+			value.NewInt(int64(2000 + d.rng.Intn(11))),
+			value.NewInt(int64(severity)),
+			value.NewString(city),
+		}
+	}
+	if err := bulkInsert(e, "accidents", accRows); err != nil {
+		return nil, err
+	}
+
+	// Bulk load is not "activity": reset the counters.
+	for _, name := range []string{"car", "owner", "demographics", "accidents"} {
+		if tbl, ok := e.DB().Table(name); ok {
+			tbl.ResetUDI()
+		}
+	}
+	return d, nil
+}
+
+func bulkInsert(e *engine.Engine, table string, rows [][]value.Datum) error {
+	tbl, ok := e.DB().Table(table)
+	if !ok {
+		return fmt.Errorf("workload: table %q missing", table)
+	}
+	return tbl.InsertBatch(rows)
+}
+
+// TableSizes returns the generated row counts in the paper's Table 2 order.
+func (d *Dataset) TableSizes() []struct {
+	Table string
+	Rows  int
+} {
+	order := []string{"car", "owner", "demographics", "accidents"}
+	out := make([]struct {
+		Table string
+		Rows  int
+	}, len(order))
+	for i, t := range order {
+		out[i].Table = t
+		out[i].Rows = d.rows[t]
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Statement is one workload entry: a query or a data-changing statement.
+type Statement struct {
+	SQL     string
+	IsQuery bool
+}
+
+// PaperQuery returns the §4.1 experiment query: the four-table join with
+// five local predicates on correlated columns.
+func PaperQuery() string {
+	return `SELECT o.name, driver, damage
+FROM car as c, accidents as a, demographics as d, owner as o
+WHERE d.ownerid = o.id AND a.carid = c.id AND c.ownerid = o.id
+  AND make = 'Toyota' AND model = 'Camry' AND city = 'Ottawa'
+  AND country = 'CA' AND salary > 5000`
+}
+
+// pickMakeModel returns a (make, model) constant pair: usually correlated
+// (the model belongs to the make), occasionally anti-correlated (a model of
+// a different make, so the true joint selectivity is zero while the
+// independence assumption predicts otherwise).
+func (d *Dataset) pickMakeModel(r *rand.Rand) (string, string) {
+	mi := r.Intn(len(makes))
+	if r.Float64() < 0.85 {
+		return makes[mi].name, makes[mi].models[r.Intn(len(makes[mi].models))]
+	}
+	other := (mi + 1 + r.Intn(len(makes)-1)) % len(makes)
+	return makes[mi].name, makes[other].models[r.Intn(len(makes[other].models))]
+}
+
+func (d *Dataset) pickCity(r *rand.Rand) cityInfo {
+	return cities[r.Intn(len(cities))]
+}
+
+// Queries generates n SELECT statements from the workload templates,
+// seeded independently of the data so the same dataset supports different
+// query mixes.
+func (d *Dataset) Queries(n int, seed int64) []Statement {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]Statement, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Statement{SQL: d.genQuery(r), IsQuery: true})
+	}
+	return out
+}
+
+func (d *Dataset) genQuery(r *rand.Rand) string {
+	switch r.Intn(6) {
+	case 0: // 2-table: car ⋈ owner with correlated make/model + city
+		mk, md := d.pickMakeModel(r)
+		city := d.pickCity(r)
+		return fmt.Sprintf(
+			`SELECT c.id, c.price FROM car c, owner o WHERE c.ownerid = o.id AND c.make = '%s' AND c.model = '%s' AND o.city = '%s'`,
+			mk, md, city.name)
+	case 1: // 2-table aggregate with year range + country
+		city := d.pickCity(r)
+		year := 1995 + r.Intn(14)
+		return fmt.Sprintf(
+			`SELECT o.city, COUNT(*) AS n, AVG(c.price) FROM car c, owner o WHERE c.ownerid = o.id AND c.year > %d AND o.country = '%s' GROUP BY o.city ORDER BY n DESC`,
+			year, city.country)
+	case 2: // car ⋈ accidents: severity/damage correlation
+		mk := makes[r.Intn(len(makes))].name
+		sev := 1 + r.Intn(5)
+		dmg := 500 + r.Intn(10)*1000
+		return fmt.Sprintf(
+			`SELECT COUNT(*) FROM car c, accidents a WHERE a.carid = c.id AND c.make = '%s' AND a.severity >= %d AND a.damage > %d`,
+			mk, sev, dmg)
+	case 3: // the paper's 4-table shape with random constants
+		mk, md := d.pickMakeModel(r)
+		city := d.pickCity(r)
+		salary := 5000 + r.Intn(12)*5000
+		return fmt.Sprintf(
+			`SELECT o.name, a.driver, a.damage FROM car c, accidents a, demographics d, owner o WHERE d.ownerid = o.id AND a.carid = c.id AND c.ownerid = o.id AND c.make = '%s' AND c.model = '%s' AND o.city = '%s' AND o.country = '%s' AND o.salary > %d`,
+			mk, md, city.name, city.country, salary)
+	case 4: // single-table OLAP rollup
+		yearLo := 1995 + r.Intn(8)
+		price := 15000 + r.Intn(6)*5000
+		return fmt.Sprintf(
+			`SELECT make, COUNT(*) AS n, AVG(price) FROM car WHERE year BETWEEN %d AND %d AND price > %d GROUP BY make ORDER BY n DESC`,
+			yearLo, yearLo+4, price)
+	default: // demographics ⋈ owner with ranges
+		city := d.pickCity(r)
+		ageLo := 20 + r.Intn(40)
+		return fmt.Sprintf(
+			`SELECT d.age, o.salary FROM demographics d, owner o WHERE d.ownerid = o.id AND d.age BETWEEN %d AND %d AND o.city = '%s' LIMIT 500`,
+			ageLo, ageLo+15, city.name)
+	}
+}
+
+// genUpdateBatch emits data-changing statements that genuinely shift the
+// distributions statistics were collected on — the paper's "data updates to
+// simulate a real-world operational database", and the reason pre-collected
+// statistics (general or workload) rot while JITS recollects. Batch sizes
+// scale with the tables so the drift rate is scale-independent: recalls
+// remove a chunk of one make, accident waves pile high-severity rows onto
+// one make's cars, city booms relocate whole owner-id ranges, and fleets of
+// new cars shift the make mix.
+func (d *Dataset) genUpdateBatch(r *rand.Rand, nextCarID, nextAccID *int) []Statement {
+	var out []Statement
+	switch r.Intn(5) {
+	case 0: // price revision for one make
+		mk := makes[r.Intn(len(makes))]
+		newPrice := mk.price * (0.5 + r.Float64()*1.2)
+		out = append(out, Statement{SQL: fmt.Sprintf(
+			`UPDATE car SET price = %.0f WHERE make = '%s' AND year < %d`,
+			newPrice, mk.name, 2000+r.Intn(10))})
+	case 1: // city boom: a whole owner-id range relocates to one city
+		to := d.pickCity(r)
+		span := d.rows["owner"] / 6
+		lo := r.Intn(d.rows["owner"])
+		out = append(out, Statement{SQL: fmt.Sprintf(
+			`UPDATE owner SET city = '%s', country = '%s' WHERE id BETWEEN %d AND %d`,
+			to.name, to.country, lo, lo+span)})
+	case 2: // accident wave: high-severity accidents hit one make's cars
+		waveSize := d.rows["accidents"] / 25
+		if waveSize < 40 {
+			waveSize = 40
+		}
+		var sb []byte
+		sb = append(sb, `INSERT INTO accidents VALUES `...)
+		for k := 0; k < waveSize; k++ {
+			if k > 0 {
+				sb = append(sb, ", "...)
+			}
+			sev := 3 + r.Intn(3)
+			sb = append(sb, fmt.Sprintf("(%d, %d, 'driver%05d', %d, %d, %d, '%s')",
+				*nextAccID, r.Intn(d.rows["car"]), r.Intn(d.rows["owner"]),
+				sev*(500+r.Intn(2500)), 2005+r.Intn(6), sev, d.pickCity(r).name)...)
+			*nextAccID++
+		}
+		out = append(out, Statement{SQL: string(sb)})
+	case 3: // recall: a chunk of one make disappears, old accidents purge
+		mk := makes[r.Intn(len(makes))]
+		out = append(out, Statement{SQL: fmt.Sprintf(
+			`DELETE FROM car WHERE make = '%s' AND year < %d`, mk.name, 1998+r.Intn(6))})
+		out = append(out, Statement{SQL: fmt.Sprintf(
+			`DELETE FROM accidents WHERE year <= %d AND damage < %d`,
+			2001+r.Intn(3), 1000+r.Intn(2000))})
+	default: // a fleet of new cars of one make shifts the make mix
+		mk := makes[r.Intn(len(makes))]
+		fleet := d.rows["car"] / 20
+		if fleet < 25 {
+			fleet = 25
+		}
+		var sb []byte
+		sb = append(sb, `INSERT INTO car VALUES `...)
+		for k := 0; k < fleet; k++ {
+			if k > 0 {
+				sb = append(sb, ", "...)
+			}
+			model := mk.models[r.Intn(len(mk.models))]
+			sb = append(sb, fmt.Sprintf("(%d, %d, '%s', '%s', %d, %.0f, '%s')",
+				*nextCarID, r.Intn(d.rows["owner"]), mk.name, model,
+				2005+r.Intn(6), mk.price*(0.8+r.Float64()*0.5), colors[r.Intn(len(colors))])...)
+			*nextCarID++
+		}
+		out = append(out, Statement{SQL: string(sb)})
+	}
+	return out
+}
+
+// Workload generates the paper's §4.2 stream: nQueries SELECT statements
+// with update batches interleaved (about one batch per eight queries) "to
+// simulate a real-world operational database". Statement order, constants
+// and updates are fully determined by the seed.
+func (d *Dataset) Workload(nQueries int, seed int64, withUpdates bool) []Statement {
+	r := rand.New(rand.NewSource(seed))
+	nextCarID := d.rows["car"] + 1000000
+	nextAccID := d.rows["accidents"] + 1000000
+	var out []Statement
+	for q := 0; q < nQueries; q++ {
+		out = append(out, Statement{SQL: d.genQuery(r), IsQuery: true})
+		if withUpdates && q%8 == 7 {
+			out = append(out, d.genUpdateBatch(r, &nextCarID, &nextAccID)...)
+		}
+	}
+	return out
+}
+
+// OLTPQueries generates simple indexed point lookups — the workload class
+// the paper's §3.5 warns JITS does not help: "simple OLTP queries usually
+// do not involve a large number of tables, and their running time is
+// usually very short".
+func (d *Dataset) OLTPQueries(n int, seed int64) []Statement {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]Statement, 0, n)
+	for i := 0; i < n; i++ {
+		var sql string
+		switch r.Intn(4) {
+		case 0:
+			sql = fmt.Sprintf(`SELECT name, city FROM owner WHERE id = %d`, r.Intn(d.rows["owner"]))
+		case 1:
+			sql = fmt.Sprintf(`SELECT make, model, price FROM car WHERE id = %d`, r.Intn(d.rows["car"]))
+		case 2:
+			sql = fmt.Sprintf(`SELECT id FROM car WHERE ownerid = %d`, r.Intn(d.rows["owner"]))
+		default:
+			sql = fmt.Sprintf(`SELECT damage, severity FROM accidents WHERE carid = %d`, r.Intn(d.rows["car"]))
+		}
+		out = append(out, Statement{SQL: sql, IsQuery: true})
+	}
+	return out
+}
+
+// QueryTexts filters a workload down to the SELECT statements — the input
+// the workload-statistics baseline analyzes in advance.
+func QueryTexts(stmts []Statement) []string {
+	var out []string
+	for _, s := range stmts {
+		if s.IsQuery {
+			out = append(out, s.SQL)
+		}
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func loadSmall(t testing.TB) (*engine.Engine, *Dataset) {
+	t.Helper()
+	e := engine.New(engine.Config{})
+	d, err := Load(e, Spec{Scale: 0.002, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, d
+}
+
+func TestSpecRowsRatios(t *testing.T) {
+	rows := Spec{Scale: 0.01}.Rows()
+	if rows["car"] != 14308 {
+		t.Errorf("car = %d", rows["car"])
+	}
+	if rows["owner"] != 10000 || rows["demographics"] != 10000 {
+		t.Errorf("owner/demo = %d/%d", rows["owner"], rows["demographics"])
+	}
+	if rows["accidents"] != 42900 {
+		t.Errorf("accidents = %d", rows["accidents"])
+	}
+	// Defaults.
+	rows = Spec{}.Rows()
+	if rows["car"] != 14308 {
+		t.Errorf("default scale car = %d", rows["car"])
+	}
+	// Tiny scales floor at 10.
+	rows = Spec{Scale: 1e-9}.Rows()
+	if rows["owner"] != 10 {
+		t.Errorf("floored owner = %d", rows["owner"])
+	}
+}
+
+func TestLoadCreatesAllTables(t *testing.T) {
+	e, d := loadSmall(t)
+	for _, ts := range d.TableSizes() {
+		tbl, ok := e.DB().Table(ts.Table)
+		if !ok {
+			t.Fatalf("missing table %s", ts.Table)
+		}
+		if tbl.RowCount() != ts.Rows {
+			t.Errorf("%s rows = %d, want %d", ts.Table, tbl.RowCount(), ts.Rows)
+		}
+		if tbl.UDICounter().Total() != 0 {
+			t.Errorf("%s UDI not reset after load", ts.Table)
+		}
+	}
+	// Table 2 ordering: car, owner, demographics, accidents.
+	sizes := d.TableSizes()
+	if sizes[0].Table != "car" || sizes[3].Table != "accidents" {
+		t.Errorf("order = %v", sizes)
+	}
+	// Indexes exist for the FK columns.
+	for _, ix := range []struct{ table, col string }{
+		{"car", "id"}, {"car", "ownerid"}, {"owner", "id"},
+		{"demographics", "ownerid"}, {"accidents", "carid"},
+	} {
+		if _, ok := e.Indexes().Find(ix.table, ix.col); !ok {
+			t.Errorf("missing index %s.%s", ix.table, ix.col)
+		}
+	}
+}
+
+func TestDataCorrelations(t *testing.T) {
+	e, _ := loadSmall(t)
+	// Make determines model: every Camry is a Toyota.
+	res, err := e.Exec(`SELECT COUNT(*) FROM car WHERE model = 'Camry'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camry := res.Rows[0][0].Int()
+	res, err = e.Exec(`SELECT COUNT(*) FROM car WHERE make = 'Toyota' AND model = 'Camry'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camry == 0 || res.Rows[0][0].Int() != camry {
+		t.Errorf("Camry total %d vs Toyota Camry %d — model must determine make", camry, res.Rows[0][0].Int())
+	}
+	// City determines country: all Ottawa rows are CA.
+	res, err = e.Exec(`SELECT COUNT(*) FROM owner WHERE city = 'Ottawa' AND country <> 'CA'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 0 {
+		t.Errorf("Ottawa outside CA: %v", res.Rows[0][0])
+	}
+	// Severity drives damage: severity 5 accidents average well above severity 1.
+	res, err = e.Exec(`SELECT severity, AVG(damage) AS ad FROM accidents GROUP BY severity ORDER BY severity`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 5 {
+		t.Fatalf("severities = %d", len(res.Rows))
+	}
+	low := res.Rows[0][1].Float()
+	high := res.Rows[len(res.Rows)-1][1].Float()
+	if high < low*3 {
+		t.Errorf("damage correlation weak: sev1 avg %v, sev5 avg %v", low, high)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	e1 := engine.New(engine.Config{})
+	e2 := engine.New(engine.Config{})
+	if _, err := Load(e1, Spec{Scale: 0.001, Seed: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(e2, Spec{Scale: 0.001, Seed: 99}); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := e1.Exec(`SELECT COUNT(*), MIN(price), MAX(price) FROM car`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e2.Exec(`SELECT COUNT(*), MIN(price), MAX(price) FROM car`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Rows[0] {
+		if r1.Rows[0][i] != r2.Rows[0][i] {
+			t.Errorf("column %d differs: %v vs %v", i, r1.Rows[0][i], r2.Rows[0][i])
+		}
+	}
+}
+
+func TestPaperQueryRunsAndReturnsRows(t *testing.T) {
+	e, _ := loadSmall(t)
+	res, err := e.Exec(PaperQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 3 {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("paper query returned nothing; Toyota Camry owners in Ottawa must exist at this scale")
+	}
+}
+
+func TestGeneratedQueriesAllExecute(t *testing.T) {
+	e, d := loadSmall(t)
+	for i, s := range d.Queries(60, 5) {
+		if !s.IsQuery {
+			t.Fatalf("Queries returned a non-query at %d", i)
+		}
+		if _, err := e.Exec(s.SQL); err != nil {
+			t.Fatalf("query %d failed: %v\n%s", i, err, s.SQL)
+		}
+	}
+}
+
+func TestWorkloadMixesUpdates(t *testing.T) {
+	e, d := loadSmall(t)
+	stmts := d.Workload(40, 3, true)
+	queries, updates := 0, 0
+	for _, s := range stmts {
+		if s.IsQuery {
+			queries++
+		} else {
+			updates++
+		}
+		if _, err := e.Exec(s.SQL); err != nil {
+			t.Fatalf("statement failed: %v\n%s", err, s.SQL)
+		}
+	}
+	if queries != 40 {
+		t.Errorf("queries = %d", queries)
+	}
+	if updates == 0 {
+		t.Error("no update batches generated")
+	}
+	// The update stream must leave UDI activity behind on some table.
+	activity := int64(0)
+	for _, name := range e.DB().TableNames() {
+		tbl, _ := e.DB().Table(name)
+		activity += tbl.UDICounter().Total()
+	}
+	if activity == 0 {
+		t.Error("updates produced no UDI activity")
+	}
+}
+
+func TestWorkloadWithoutUpdates(t *testing.T) {
+	_, d := loadSmall(t)
+	for _, s := range d.Workload(20, 3, false) {
+		if !s.IsQuery {
+			t.Fatal("withUpdates=false must produce queries only")
+		}
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	_, d := loadSmall(t)
+	a := d.Workload(30, 11, true)
+	b := d.Workload(30, 11, true)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("statement %d differs", i)
+		}
+	}
+}
+
+func TestQueryTexts(t *testing.T) {
+	_, d := loadSmall(t)
+	stmts := d.Workload(16, 2, true)
+	texts := QueryTexts(stmts)
+	if len(texts) != 16 {
+		t.Errorf("texts = %d, want 16 queries", len(texts))
+	}
+	for _, q := range texts {
+		if !strings.HasPrefix(q, "SELECT") {
+			t.Errorf("non-select text: %s", q)
+		}
+	}
+}
+
+func TestAntiCorrelatedPairsAppear(t *testing.T) {
+	_, d := loadSmall(t)
+	// Over many template-0 queries, some make/model pairs must be
+	// mismatched (true selectivity 0) — the paper's correlation trap.
+	valid := map[string]map[string]bool{}
+	for _, m := range makes {
+		valid[m.name] = map[string]bool{}
+		for _, mod := range m.models {
+			valid[m.name][mod] = true
+		}
+	}
+	extract := func(sql, field string) string {
+		marker := field + " = '"
+		i := strings.Index(sql, marker)
+		if i < 0 {
+			return ""
+		}
+		rest := sql[i+len(marker):]
+		j := strings.Index(rest, "'")
+		return rest[:j]
+	}
+	stmts := d.Queries(400, 21)
+	mismatch := false
+	for _, s := range stmts {
+		mk := extract(s.SQL, "c.make")
+		md := extract(s.SQL, "c.model")
+		if mk != "" && md != "" && !valid[mk][md] {
+			mismatch = true
+			break
+		}
+	}
+	if !mismatch {
+		t.Error("no anti-correlated make/model pair in 400 queries")
+	}
+}
+
+func BenchmarkLoadScale001(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := engine.New(engine.Config{})
+		if _, err := Load(e, Spec{Scale: 0.001, Seed: 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

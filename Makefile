@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race vet bench fuzz check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The morsel-driven executor's concurrency tests (shared meters, parallel
+# scans/joins/aggregation, concurrent DML) only prove anything under the
+# race detector; CI runs this target.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short live run of the serial-vs-parallel differential fuzzer; the seed
+# corpus alone is replayed by every plain `make test`.
+fuzz:
+	$(GO) test -run TestDifferential -fuzz=FuzzParallelSerial -fuzztime=30s ./internal/engine/
+
+check: build vet test race

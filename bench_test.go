@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -322,5 +323,68 @@ func BenchmarkAblationMigration(b *testing.B) {
 			b.ReportMetric(float64(migrated), "histograms_migrated")
 			b.ReportMetric(float64(len(warm.Catalog().Tables())), "tables_with_stats")
 		}
+	}
+}
+
+// --- Parallel execution (morsel-driven executor) -------------------------
+
+// BenchmarkParallelTable3 regenerates Table 3 at several degrees of
+// parallelism. The reported simulated seconds are identical at every dop —
+// the morsel executor charges the same work regardless of worker count —
+// so the benchmark's wall time is the only thing parallelism may change
+// (and on a multi-core host, does).
+func BenchmarkParallelTable3(b *testing.B) {
+	var serialTotal float64
+	for _, dop := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("dop%d", dop), func(b *testing.B) {
+			opts := benchOptions()
+			opts.Parallelism = dop
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Table3(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					total := 0.0
+					for _, r := range rows {
+						total += r.Total
+					}
+					b.ReportMetric(total, "simulated_total_s")
+					if dop == 1 {
+						serialTotal = total
+					} else if diff := total - serialTotal; diff > 1e-6 || diff < -1e-6 {
+						b.Fatalf("dop %d simulated total %v != serial %v", dop, total, serialTotal)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelWorkload replays the JITS workload at several degrees
+// of parallelism; per-iteration wall time is the comparison, simulated
+// mean time per query is asserted identical across sub-benchmarks.
+func BenchmarkParallelWorkload(b *testing.B) {
+	var serialMean float64
+	for _, dop := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("dop%d", dop), func(b *testing.B) {
+			opts := benchOptions()
+			opts.Parallelism = dop
+			for i := 0; i < b.N; i++ {
+				timings, err := experiments.RunWorkload(experiments.SettingJITS, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					mean := experiments.Summarize(timings).Mean
+					b.ReportMetric(mean, "mean_total_s")
+					if dop == 1 {
+						serialMean = mean
+					} else if diff := mean - serialMean; diff > 1e-9 || diff < -1e-9 {
+						b.Fatalf("dop %d mean simulated time %v != serial %v", dop, mean, serialMean)
+					}
+				}
+			}
+		})
 	}
 }

@@ -55,6 +55,11 @@ type Config struct {
 	PerGroupSampling bool
 	// Seed makes sampling reproducible.
 	Seed int64
+	// Parallelism fans the sampling row fetches and predicate-group
+	// evaluation out across this many workers. Statistics, meter charges
+	// and therefore plans are identical at any setting; values <= 1 run
+	// serially.
+	Parallelism int
 }
 
 // withDefaults fills zero-valued knobs. SMax stays as given: an explicit
@@ -295,13 +300,13 @@ func (j *JITS) Prepare(q *qgm.Query, db *storage.Database, ts int64, meter *cost
 			GroupsEvaluated: len(tw.groups),
 		}
 		if collect {
-			sample := j.sampler.Rows(tbl, j.cfg.SampleSize, meter, w)
+			sample := j.sampler.RowsParallel(tbl, j.cfg.SampleSize, meter, w, j.cfg.Parallelism)
 			if j.cfg.PerGroupSampling && len(tw.groups) > 1 {
 				// Prototype-faithful costing: every additional candidate
 				// group pays its own sampling query.
 				meter.Add(w.SampleRow * float64(len(sample)) * float64(len(tw.groups)-1))
 			}
-			sels := sampling.EvaluateGroups(sample, tw.groups, meter, w)
+			sels := sampling.EvaluateGroupsParallel(sample, tw.groups, meter, w, j.cfg.Parallelism)
 			floor := sampling.SelectivityFloor(len(sample))
 			domains := SampleDomains(tbl.Schema(), sample)
 

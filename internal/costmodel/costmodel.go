@@ -11,7 +11,10 @@
 // fixed calibration constant.
 package costmodel
 
-import "sync"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // Weights price one unit of each primitive operation. They are expressed
 // relative to a sequential row touch = 1.
@@ -57,37 +60,78 @@ func DefaultWeights() Weights {
 // magnitude of the paper's Table 3.
 const SecondsPerUnit = 1e-5
 
-// Meter accumulates work units. It is safe for concurrent use; the engine
-// keeps separate meters for compilation and execution so the two phases can
-// be reported independently, as the paper does.
+// Meter accumulates work units. It is safe for concurrent use: the total is
+// a float64 updated through a lock-free compare-and-swap on its bit pattern,
+// so parallel executor workers can charge the same meter without blocking
+// one another. The engine keeps separate meters for compilation and
+// execution so the two phases can be reported independently, as the paper
+// does.
+//
+// Workers on a hot path should prefer a Worker sub-meter: it accumulates
+// locally without synchronization and merges into the parent once.
 type Meter struct {
-	mu    sync.Mutex
-	units float64
+	bits atomic.Uint64 // float64 bit pattern of the accumulated units
 }
 
-// Add accrues units of work.
+// Add accrues units of work. Safe for concurrent use.
 func (m *Meter) Add(units float64) {
 	if units == 0 {
 		return
 	}
-	m.mu.Lock()
-	m.units += units
-	m.mu.Unlock()
+	for {
+		old := m.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + units)
+		if m.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // Units returns the total accumulated work.
-func (m *Meter) Units() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.units
-}
+func (m *Meter) Units() float64 { return math.Float64frombits(m.bits.Load()) }
 
 // Seconds converts the accumulated work into calibrated seconds.
 func (m *Meter) Seconds() float64 { return m.Units() * SecondsPerUnit }
 
 // Reset zeroes the meter.
-func (m *Meter) Reset() {
-	m.mu.Lock()
-	m.units = 0
-	m.mu.Unlock()
+func (m *Meter) Reset() { m.bits.Store(0) }
+
+// Worker returns a per-worker sub-meter charging into m. The sub-meter
+// itself is NOT safe for concurrent use — each parallel worker owns one and
+// calls Merge (or lets the coordinator call it) exactly once when its slice
+// of the work is done, so the shared meter sees one contended update per
+// worker instead of one per row.
+func (m *Meter) Worker() *Worker { return &Worker{parent: m} }
+
+// Worker is a single-goroutine accumulator that merges into a parent Meter.
+// A nil Worker accepts charges and merges as a no-op, mirroring how a nil
+// Meter is treated by Runtime.charge.
+type Worker struct {
+	parent *Meter
+	units  float64
+}
+
+// Add accrues units locally without synchronization.
+func (w *Worker) Add(units float64) {
+	if w != nil {
+		w.units += units
+	}
+}
+
+// Units returns the locally accumulated, not-yet-merged work.
+func (w *Worker) Units() float64 {
+	if w == nil {
+		return 0
+	}
+	return w.units
+}
+
+// Merge flushes the local total into the parent meter and zeroes the local
+// accumulator; calling it again is a no-op until more work is added.
+func (w *Worker) Merge() {
+	if w == nil || w.parent == nil || w.units == 0 {
+		return
+	}
+	w.parent.Add(w.units)
+	w.units = 0
 }

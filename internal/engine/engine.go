@@ -58,6 +58,19 @@ type Config struct {
 	// root, and estimated-vs-actual selectivities observed by the feedback
 	// loop. Meant for debugging and for following the paper's pipeline live.
 	Trace io.Writer
+	// Parallelism is the default degree of intra-query parallelism for
+	// SELECT execution and JITS sample evaluation. Values <= 1 run the
+	// serial operators, which reproduce the paper's cost accounting
+	// exactly; higher values dispatch morsels to a worker pool without
+	// changing results or metered work. Per-query override: ExecWith.
+	Parallelism int
+}
+
+// ExecOptions tune one Exec call — the per-query session knobs.
+type ExecOptions struct {
+	// Parallelism overrides the engine's default degree of parallelism for
+	// this statement; 0 keeps the engine default, 1 forces serial.
+	Parallelism int
 }
 
 // Metrics reports the simulated timing split of one statement.
@@ -92,6 +105,7 @@ type Engine struct {
 	migrateEvery int
 	selectCount  int64
 	trace        io.Writer
+	parallelism  int
 
 	// staticQSS holds the "workload statistics" baseline: column-group
 	// statistics precollected from the workload text and never refreshed.
@@ -111,6 +125,9 @@ func New(cfg Config) *Engine {
 	cat := catalog.New()
 	hist := feedback.NewHistory()
 	ixs := index.NewSet()
+	if cfg.JITS.Parallelism == 0 {
+		cfg.JITS.Parallelism = cfg.Parallelism
+	}
 	jits := core.New(cfg.JITS, hist, cat)
 	jits.BindIndexes(ixs)
 	e := &Engine{
@@ -122,6 +139,7 @@ func New(cfg Config) *Engine {
 		weights:      w,
 		migrateEvery: cfg.MigrateEvery,
 		trace:        cfg.Trace,
+		parallelism:  cfg.Parallelism,
 	}
 	if cfg.ReactiveCorrections {
 		e.reactiveQSS = core.NewArchive(0, 0)
@@ -179,17 +197,27 @@ func (e *Engine) TableSchema(name string) (*storage.Schema, bool) {
 	return tbl.Schema(), true
 }
 
-// Exec parses and runs one SQL statement.
+// Exec parses and runs one SQL statement at the engine's default degree of
+// parallelism.
 func (e *Engine) Exec(sql string) (*Result, error) {
+	return e.ExecWith(sql, ExecOptions{})
+}
+
+// ExecWith parses and runs one SQL statement with per-query session options.
+func (e *Engine) ExecWith(sql string, opts ExecOptions) (*Result, error) {
+	dop := opts.Parallelism
+	if dop == 0 {
+		dop = e.parallelism
+	}
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	switch s := stmt.(type) {
 	case *sqlparser.SelectStmt:
-		return e.execSelect(s, sql, false)
+		return e.execSelect(s, sql, false, dop)
 	case *sqlparser.ExplainStmt:
-		return e.execSelect(s.Select, sql, true)
+		return e.execSelect(s.Select, sql, true, dop)
 	case *sqlparser.InsertStmt:
 		return e.execInsert(s)
 	case *sqlparser.UpdateStmt:
@@ -228,7 +256,7 @@ func (s *staticSource) ColumnNDV(table, column string) (int64, bool) {
 // compiles — including any JITS statistics collection, whose cost shows up
 // in the metrics — but does not execute: the result carries the plan text
 // as rows, one per line.
-func (e *Engine) execSelect(stmt *sqlparser.SelectStmt, sql string, explainOnly bool) (*Result, error) {
+func (e *Engine) execSelect(stmt *sqlparser.SelectStmt, sql string, explainOnly bool, dop int) (*Result, error) {
 	ts := e.tick()
 	var compileMeter, execMeter costmodel.Meter
 
@@ -279,11 +307,11 @@ func (e *Engine) execSelect(stmt *sqlparser.SelectStmt, sql string, explainOnly 
 		if err != nil {
 			return nil, err
 		}
-		subPlans = append(subPlans, optimizer.Explain(innerPlan))
+		subPlans = append(subPlans, optimizer.ExplainParallel(innerPlan, dop))
 		if explainOnly {
 			continue
 		}
-		rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter}
+		rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Parallelism: dop}
 		innerRes, err := executor.Execute(inner, innerPlan, rt)
 		if err != nil {
 			return nil, err
@@ -309,7 +337,7 @@ func (e *Engine) execSelect(stmt *sqlparser.SelectStmt, sql string, explainOnly 
 	if err != nil {
 		return nil, err
 	}
-	planText := optimizer.Explain(plan)
+	planText := optimizer.ExplainParallel(plan, dop)
 	for i, sp := range subPlans {
 		planText += fmt.Sprintf("Subquery %d:\n%s", i+1, sp)
 	}
@@ -331,7 +359,7 @@ func (e *Engine) execSelect(stmt *sqlparser.SelectStmt, sql string, explainOnly 
 		}, nil
 	}
 
-	rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter}
+	rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Parallelism: dop}
 	res, err := executor.Execute(blk, plan, rt)
 	if err != nil {
 		return nil, err

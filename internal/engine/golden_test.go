@@ -193,3 +193,65 @@ func TestRandomizedAggregatesMatchReference(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenParallelExplain pins the exact EXPLAIN text for representative
+// plan shapes at parallelism 1 and 4. Parallel plans carry a Gather header
+// naming the worker count and indent the operator tree one level; the tree
+// itself — access paths, join methods, estimates, costs — must be
+// byte-identical to the serial rendering, because the degree of parallelism
+// never feeds back into optimization.
+func TestGoldenParallelExplain(t *testing.T) {
+	e := seedEngine(t, Config{})
+	cases := []struct {
+		sql      string
+		serial   string
+		parallel string
+	}{
+		{
+			sql:    `EXPLAIN SELECT id FROM car WHERE make = 'Toyota'`,
+			serial: "TableScan car as car filter[make = 'Toyota'] rows=40.0 cost=1008\n",
+			parallel: "Gather(workers=4)\n" +
+				"  TableScan car as car filter[make = 'Toyota'] rows=40.0 cost=1008\n",
+		},
+		{
+			sql: `EXPLAIN SELECT c.id, o.city FROM car c, owner o WHERE c.ownerid = o.id AND o.city = 'Ottawa'`,
+			serial: "IndexNLJoin on[[1].id = [0].ownerid] rows=40.0 cost=2416\n" +
+				"  TableScan owner as o filter[city = 'Ottawa'] rows=40.0 cost=1008\n" +
+				"  TableScan car as c rows=1000.0 cost=1200\n",
+			parallel: "Gather(workers=4)\n" +
+				"  IndexNLJoin on[[1].id = [0].ownerid] rows=40.0 cost=2416\n" +
+				"    TableScan owner as o filter[city = 'Ottawa'] rows=40.0 cost=1008\n" +
+				"    TableScan car as c rows=1000.0 cost=1200\n",
+		},
+		{
+			sql: `EXPLAIN SELECT COUNT(*) FROM car c, owner o WHERE c.price = o.salary`,
+			serial: "HashJoin on[[1].salary = [0].price] rows=1000.0 cost=5100\n" +
+				"  TableScan owner as o rows=1000.0 cost=1200\n" +
+				"  TableScan car as c rows=1000.0 cost=1200\n",
+			parallel: "Gather(workers=4)\n" +
+				"  HashJoin on[[1].salary = [0].price] rows=1000.0 cost=5100\n" +
+				"    TableScan owner as o rows=1000.0 cost=1200\n" +
+				"    TableScan car as c rows=1000.0 cost=1200\n",
+		},
+		{
+			sql:    `EXPLAIN SELECT make, COUNT(*) FROM car WHERE year > 1995 GROUP BY make`,
+			serial: "TableScan car as car filter[year > 1995] rows=333.3 cost=1067\n",
+			parallel: "Gather(workers=4)\n" +
+				"  TableScan car as car filter[year > 1995] rows=333.3 cost=1067\n",
+		},
+	}
+	for _, c := range cases {
+		for _, mode := range []struct {
+			dop  int
+			want string
+		}{{1, c.serial}, {4, c.parallel}} {
+			res, err := e.ExecWith(c.sql, ExecOptions{Parallelism: mode.dop})
+			if err != nil {
+				t.Fatalf("%q at dop %d: %v", c.sql, mode.dop, err)
+			}
+			if res.Plan != mode.want {
+				t.Errorf("%q at dop %d:\ngot:\n%s\nwant:\n%s", c.sql, mode.dop, res.Plan, mode.want)
+			}
+		}
+	}
+}

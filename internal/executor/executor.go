@@ -33,6 +33,32 @@ type Runtime struct {
 	Indexes *index.Set
 	Weights costmodel.Weights
 	Meter   *costmodel.Meter
+	// Parallelism is the degree of intra-query parallelism: the number of
+	// workers scans, hash joins and grouped aggregation may fan out to.
+	// Values <= 1 select the serial operators, which reproduce the paper's
+	// cost numbers exactly; higher values dispatch morsels to a worker pool
+	// while charging the meter the identical totals (the simulated work is
+	// the same — only the wall clock shrinks).
+	Parallelism int
+	// MorselSize overrides the number of rows per morsel; 0 selects
+	// DefaultMorselSize. Tests shrink it to exercise multi-morsel paths on
+	// small tables.
+	MorselSize int
+}
+
+// dop returns the effective degree of parallelism (always >= 1).
+func (rt *Runtime) dop() int {
+	if rt.Parallelism < 1 {
+		return 1
+	}
+	return rt.Parallelism
+}
+
+func (rt *Runtime) morselSize() int {
+	if rt.MorselSize > 0 {
+		return rt.MorselSize
+	}
+	return DefaultMorselSize
 }
 
 func (rt *Runtime) charge(units float64) {
@@ -176,6 +202,9 @@ func (ex *executor) runScan(n *optimizer.Scan) (*relation, error) {
 			}
 		}
 		ex.rt.charge(w.IndexRow * examined)
+	} else if ex.rt.dop() > 1 && tbl.RowCount() > ex.rt.morselSize() {
+		rel.rows, examined = ex.parallelSeqScan(tbl, n.Preds)
+		ex.rt.charge(w.SeqRow * examined)
 	} else {
 		tbl.Scan(func(_ int, row []value.Datum) bool {
 			examined++
@@ -294,6 +323,14 @@ func (ex *executor) runHashJoin(n *optimizer.Join) (*relation, error) {
 		rCols[i] = right.col(jp.RightSlot, jp.RightOrd)
 	}
 
+	if ex.rt.dop() > 1 && len(left.rows)+len(right.rows) > ex.rt.morselSize() {
+		ex.parallelHashJoin(left, right, rel, lCols, rCols)
+		ex.rt.charge(w.HashBuild * float64(len(left.rows)))
+		ex.rt.charge(w.HashProbe * float64(len(right.rows)))
+		ex.rt.charge(w.RowOut * float64(len(rel.rows)))
+		return rel, nil
+	}
+
 	table := make(map[string][]int, len(left.rows))
 	for i, row := range left.rows {
 		if key, ok := joinKey(row, lCols); ok {
@@ -357,37 +394,46 @@ func (ex *executor) runIndexNLJoin(n *optimizer.Join) (*relation, error) {
 	}
 
 	examined, matched := 0.0, 0.0
-	for _, lrow := range left.rows {
-		ex.rt.charge(w.IndexProbe)
-		key := lrow[left.col(driving.LeftSlot, driving.LeftOrd)]
-		if key.IsNull() {
-			continue
+	if ex.rt.dop() > 1 && len(left.rows) > ex.rt.morselSize() {
+		rows, exam, match, err := ex.parallelIndexNLProbe(left, inner, tbl, ix, driving, n.Preds)
+		if err != nil {
+			return nil, err
 		}
-		for _, pos := range ix.Lookup(key) {
-			irow, err := tbl.Row(pos)
-			if err != nil {
-				return nil, err
-			}
-			examined++
-			if !matchesAll(inner.Preds, irow) {
+		rel.rows, examined, matched = rows, exam, match
+		ex.rt.charge(w.IndexProbe * float64(len(left.rows)))
+	} else {
+		for _, lrow := range left.rows {
+			ex.rt.charge(w.IndexProbe)
+			key := lrow[left.col(driving.LeftSlot, driving.LeftOrd)]
+			if key.IsNull() {
 				continue
 			}
-			matched++
-			// Residual join predicates.
-			okRow := true
-			for i := range n.Preds {
-				jp := n.Preds[i]
-				if jp == *driving {
+			for _, pos := range ix.Lookup(key) {
+				irow, err := tbl.Row(pos)
+				if err != nil {
+					return nil, err
+				}
+				examined++
+				if !matchesAll(inner.Preds, irow) {
 					continue
 				}
-				lv := lrow[left.col(jp.LeftSlot, jp.LeftOrd)]
-				if !lv.Equal(irow[jp.RightOrd]) {
-					okRow = false
-					break
+				matched++
+				// Residual join predicates.
+				okRow := true
+				for i := range n.Preds {
+					jp := n.Preds[i]
+					if jp == *driving {
+						continue
+					}
+					lv := lrow[left.col(jp.LeftSlot, jp.LeftOrd)]
+					if !lv.Equal(irow[jp.RightOrd]) {
+						okRow = false
+						break
+					}
 				}
-			}
-			if okRow {
-				rel.rows = append(rel.rows, concatRows(lrow, irow))
+				if okRow {
+					rel.rows = append(rel.rows, concatRows(lrow, irow))
+				}
 			}
 		}
 	}
@@ -618,67 +664,131 @@ type aggState struct {
 	seen     bool
 }
 
+// merge folds another partial state for the same group and projection into
+// st; the parallel aggregation path combines per-worker partials with it.
+func (st *aggState) merge(other *aggState) {
+	st.count += other.count
+	st.countCol += other.countCol
+	st.sum += other.sum
+	st.sumInt += other.sumInt
+	st.sumIsInt = st.sumIsInt && other.sumIsInt
+	st.seen = st.seen || other.seen
+	if !other.min.IsNull() && (st.min.IsNull() || other.min.Compare(st.min) < 0) {
+		st.min = other.min
+	}
+	if !other.max.IsNull() && (st.max.IsNull() || other.max.Compare(st.max) > 0) {
+		st.max = other.max
+	}
+}
+
+type group struct {
+	keys []value.Datum
+	aggs []aggState
+}
+
+// groupAccumulator builds grouped aggregation state row by row. The serial
+// path runs one accumulator over the whole input; the parallel path runs one
+// per morsel and merges them in morsel order, which preserves the serial
+// first-appearance group order.
+type groupAccumulator struct {
+	blk    *qgm.Block
+	rel    *relation
+	groups map[string]*group
+	order  []string // deterministic group order = first appearance
+}
+
+func newGroupAccumulator(blk *qgm.Block, rel *relation) *groupAccumulator {
+	return &groupAccumulator{blk: blk, rel: rel, groups: make(map[string]*group)}
+}
+
+func (ga *groupAccumulator) newGroup(keys []value.Datum) *group {
+	g := &group{keys: keys, aggs: make([]aggState, len(ga.blk.Projections))}
+	for i := range g.aggs {
+		g.aggs[i].sumIsInt = true
+		g.aggs[i].min, g.aggs[i].max = value.Null, value.Null
+	}
+	return g
+}
+
+func (ga *groupAccumulator) absorbRow(row []value.Datum) {
+	var kb strings.Builder
+	keys := make([]value.Datum, len(ga.blk.GroupBy))
+	for i, gk := range ga.blk.GroupBy {
+		d := row[ga.rel.col(gk.Slot, gk.Ordinal)]
+		keys[i] = d
+		fmt.Fprintf(&kb, "%s|", d)
+	}
+	key := kb.String()
+	g, ok := ga.groups[key]
+	if !ok {
+		g = ga.newGroup(keys)
+		ga.groups[key] = g
+		ga.order = append(ga.order, key)
+	}
+	for i, p := range ga.blk.Projections {
+		st := &g.aggs[i]
+		st.count++
+		if p.Agg == sqlparser.AggNone || p.Star {
+			continue
+		}
+		d := row[ga.rel.col(p.Slot, p.Ordinal)]
+		if d.IsNull() {
+			continue
+		}
+		st.countCol++
+		st.seen = true
+		if f, ok := d.AsFloat(); ok {
+			st.sum += f
+			if d.Kind() == value.KindInt {
+				st.sumInt += d.Int()
+			} else {
+				st.sumIsInt = false
+			}
+		} else {
+			st.sumIsInt = false
+		}
+		if st.min.IsNull() || d.Compare(st.min) < 0 {
+			st.min = d
+		}
+		if st.max.IsNull() || d.Compare(st.max) > 0 {
+			st.max = d
+		}
+	}
+}
+
+// mergeFrom folds a later partial accumulator into ga, keeping first-
+// appearance order: groups ga already holds merge state-wise, new groups
+// append in the partial's own order.
+func (ga *groupAccumulator) mergeFrom(other *groupAccumulator) {
+	for _, key := range other.order {
+		og := other.groups[key]
+		g, ok := ga.groups[key]
+		if !ok {
+			ga.groups[key] = og
+			ga.order = append(ga.order, key)
+			continue
+		}
+		for i := range g.aggs {
+			g.aggs[i].merge(&og.aggs[i])
+		}
+	}
+}
+
 func (ex *executor) aggregate(rel *relation) (*Result, error) {
 	blk := ex.blk
 	w := ex.rt.Weights
 
-	type group struct {
-		keys []value.Datum
-		aggs []aggState
-	}
 	nAgg := len(blk.Projections)
-	groups := make(map[string]*group)
-	var orderKeys []string // deterministic group order = first appearance
-
-	for _, row := range rel.rows {
-		var kb strings.Builder
-		keys := make([]value.Datum, len(blk.GroupBy))
-		for i, gk := range blk.GroupBy {
-			d := row[rel.col(gk.Slot, gk.Ordinal)]
-			keys[i] = d
-			fmt.Fprintf(&kb, "%s|", d)
-		}
-		key := kb.String()
-		g, ok := groups[key]
-		if !ok {
-			g = &group{keys: keys, aggs: make([]aggState, nAgg)}
-			for i := range g.aggs {
-				g.aggs[i].sumIsInt = true
-				g.aggs[i].min, g.aggs[i].max = value.Null, value.Null
-			}
-			groups[key] = g
-			orderKeys = append(orderKeys, key)
-		}
-		for i, p := range blk.Projections {
-			st := &g.aggs[i]
-			st.count++
-			if p.Agg == sqlparser.AggNone || p.Star {
-				continue
-			}
-			d := row[rel.col(p.Slot, p.Ordinal)]
-			if d.IsNull() {
-				continue
-			}
-			st.countCol++
-			st.seen = true
-			if f, ok := d.AsFloat(); ok {
-				st.sum += f
-				if d.Kind() == value.KindInt {
-					st.sumInt += d.Int()
-				} else {
-					st.sumIsInt = false
-				}
-			} else {
-				st.sumIsInt = false
-			}
-			if st.min.IsNull() || d.Compare(st.min) < 0 {
-				st.min = d
-			}
-			if st.max.IsNull() || d.Compare(st.max) > 0 {
-				st.max = d
-			}
+	var ga *groupAccumulator
+	if ex.rt.dop() > 1 && len(rel.rows) > ex.rt.morselSize() {
+		ga = ex.parallelAggregate(rel)
+	} else {
+		ga = newGroupAccumulator(blk, rel)
+		for _, row := range rel.rows {
+			ga.absorbRow(row)
 		}
 	}
+	groups, orderKeys := ga.groups, ga.order
 	ex.rt.charge(w.HashBuild * float64(len(rel.rows)))
 
 	// Global aggregate over empty input still yields one row.
@@ -818,9 +928,9 @@ func (ex *executor) orderResult(res *Result) error {
 	if n > 1 {
 		ex.rt.charge(ex.rt.Weights.SortRow * float64(n) * math.Log2(float64(n)))
 	}
-	sort.SliceStable(res.Rows, func(i, j int) bool {
+	less := func(a, b []value.Datum) bool {
 		for _, k := range keys {
-			c := res.Rows[i][k.col].Compare(res.Rows[j][k.col])
+			c := a[k.col].Compare(b[k.col])
 			if c == 0 {
 				continue
 			}
@@ -830,7 +940,12 @@ func (ex *executor) orderResult(res *Result) error {
 			return c < 0
 		}
 		return false
-	})
+	}
+	if ex.rt.dop() > 1 && n > ex.rt.morselSize() {
+		parallelStableSort(res.Rows, ex.rt.dop(), less)
+	} else {
+		sort.SliceStable(res.Rows, func(i, j int) bool { return less(res.Rows[i], res.Rows[j]) })
+	}
 
 	// Strip hidden sort columns.
 	visible := len(res.Columns)

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -68,6 +70,10 @@ type Options struct {
 	// PerGroupSampling charges collection per candidate group, emulating
 	// the paper's on-the-fly sampling queries (see core.Config).
 	PerGroupSampling bool
+	// Parallelism is the degree of intra-query parallelism. It changes
+	// wall-clock time only: the simulated cost-model timings — everything
+	// the experiment tables report — are identical at any value.
+	Parallelism int
 }
 
 // DefaultOptions mirrors the paper: the 840-query workload at 1/100 of the
@@ -151,7 +157,7 @@ func Table3(opts Options) ([]Table3Row, error) {
 	}
 	var out []Table3Row
 	for _, sc := range scenarios {
-		var cfg engine.Config
+		cfg := engine.Config{Parallelism: opts.Parallelism}
 		if sc.jits {
 			cfg.JITS = opts.jitsConfig()
 			cfg.JITS.ForceCollect = true
@@ -194,7 +200,7 @@ type QueryTiming struct {
 // in one setting and returns per-query timings. The statement stream is
 // deterministic in the options, so every setting sees the identical stream.
 func RunWorkload(setting Setting, opts Options) ([]QueryTiming, error) {
-	var cfg engine.Config
+	cfg := engine.Config{Parallelism: opts.Parallelism}
 	if setting == SettingJITS {
 		cfg.JITS = opts.jitsConfig()
 	}
@@ -459,4 +465,99 @@ func Figure6(opts Options, smaxes []float64) ([]SweepPoint, error) {
 		})
 	}
 	return out, nil
+}
+
+// ---- Parallel speedup ----------------------------------------------------
+
+// SpeedupRow reports one degree of parallelism in the speedup experiment.
+type SpeedupRow struct {
+	Workers     int
+	WallSeconds float64 // measured wall clock for the whole query stream
+	Speedup     float64 // serial wall clock / this row's wall clock
+	SimSeconds  float64 // simulated cost-model total — identical in every row
+	Queries     int
+}
+
+// ParallelSpeedup replays the same JITS-enabled query stream once per
+// requested worker count and measures wall-clock time. The simulated
+// cost-model seconds and every query's result set must be identical across
+// rows — parallelism is a wall-clock knob, not a semantics knob — and the
+// function fails if any run diverges from the serial baseline.
+func ParallelSpeedup(opts Options, workers []int) ([]SpeedupRow, error) {
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4}
+	}
+	if workers[0] != 1 {
+		workers = append([]int{1}, workers...)
+	}
+	var out []SpeedupRow
+	var baseline []string
+	var baselineSim float64
+	for _, dop := range workers {
+		cfg := engine.Config{Parallelism: dop, JITS: opts.jitsConfig()}
+		e := engine.New(cfg)
+		d, err := workload.Load(e, workload.Spec{Scale: opts.Scale, Seed: opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		stmts := d.Queries(opts.Queries, opts.Seed+1)
+		fingerprints := make([]string, 0, len(stmts))
+		sim := 0.0
+		start := time.Now()
+		for _, s := range stmts {
+			res, err := e.Exec(s.SQL)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: speedup at dop %d, %q: %w", dop, s.SQL, err)
+			}
+			sim += res.Metrics.TotalSeconds
+			fingerprints = append(fingerprints, fingerprintResult(res))
+		}
+		wall := time.Since(start).Seconds()
+		if dop == 1 {
+			baseline, baselineSim = fingerprints, sim
+		} else {
+			for i := range fingerprints {
+				if fingerprints[i] != baseline[i] {
+					return nil, fmt.Errorf("experiments: dop %d diverged from serial on query %d (%s)",
+						dop, i, stmts[i].SQL)
+				}
+			}
+			if diff := math.Abs(sim - baselineSim); diff > 1e-6*(1+baselineSim) {
+				return nil, fmt.Errorf("experiments: dop %d simulated time %.6f != serial %.6f",
+					dop, sim, baselineSim)
+			}
+		}
+		row := SpeedupRow{Workers: dop, WallSeconds: wall, SimSeconds: sim, Queries: len(stmts)}
+		if len(out) > 0 && wall > 0 {
+			row.Speedup = out[0].WallSeconds / wall
+		} else {
+			row.Speedup = 1
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// fingerprintResult renders a result to a comparable string; floats are
+// rounded so partial-sum association in parallel aggregation cannot flip
+// the comparison.
+func fingerprintResult(res *engine.Result) string {
+	var sb strings.Builder
+	for _, c := range res.Columns {
+		sb.WriteString(c)
+		sb.WriteByte(',')
+	}
+	sb.WriteByte('\n')
+	for _, row := range res.Rows {
+		for _, d := range row {
+			if f, ok := d.AsFloat(); ok {
+				fmt.Fprintf(&sb, "%.6g|", f)
+				continue
+			}
+			sb.WriteString(d.String())
+			sb.WriteByte('|')
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
 }

@@ -1,0 +1,198 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property-based coverage: the histogram invariants the optimizer relies on
+// must hold for arbitrary data shapes, not just the handful of fixtures in
+// the unit tests. Each property runs over >=1000 rng seeds, with the data
+// generator drawing a different distribution family per seed.
+
+const propertySeeds = 1000
+
+// genCoords draws a coordinate set whose shape varies by seed: uniform
+// ints, duplicate-heavy ints (equidepth's hard case), clustered floats, a
+// constant column, and wide-range floats with outliers.
+func genCoords(rng *rand.Rand) []float64 {
+	n := 1 + rng.Intn(400)
+	coords := make([]float64, n)
+	switch rng.Intn(5) {
+	case 0: // uniform integers
+		for i := range coords {
+			coords[i] = float64(rng.Intn(1000))
+		}
+	case 1: // duplicate-heavy: few distinct values
+		distinct := 1 + rng.Intn(5)
+		for i := range coords {
+			coords[i] = float64(rng.Intn(distinct) * 7)
+		}
+	case 2: // clustered floats
+		center := rng.Float64() * 100
+		for i := range coords {
+			coords[i] = center + rng.NormFloat64()
+		}
+	case 3: // constant column
+		v := float64(rng.Intn(50))
+		for i := range coords {
+			coords[i] = v
+		}
+	default: // wide range with outliers
+		for i := range coords {
+			coords[i] = rng.Float64() * 10
+		}
+		coords[rng.Intn(n)] = 1e6 * rng.Float64()
+	}
+	return coords
+}
+
+func checkGrid(t *testing.T, h *Histogram, seed int64, context string) {
+	t.Helper()
+	s := h.Snapshot()
+	for d, cuts := range s.Cuts {
+		for i := 1; i < len(cuts); i++ {
+			if !(cuts[i-1] < cuts[i]) {
+				t.Fatalf("seed %d (%s): dim %d cuts not strictly increasing at %d: %v",
+					seed, context, d, i, cuts)
+			}
+		}
+	}
+	total := 0.0
+	for i, m := range s.Mass {
+		if m < 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+			t.Fatalf("seed %d (%s): cell %d has invalid mass %g", seed, context, i, m)
+		}
+		total += m
+	}
+	if math.Abs(total-1) > 1e-6 {
+		t.Fatalf("seed %d (%s): total mass %g, want 1", seed, context, total)
+	}
+	cells := 1
+	for _, cuts := range s.Cuts {
+		cells *= len(cuts) - 1
+	}
+	if cells != len(s.Mass) {
+		t.Fatalf("seed %d (%s): %d cells from cuts, %d masses", seed, context, cells, len(s.Mass))
+	}
+}
+
+// TestEquiDepthProperties: for arbitrary data, BuildEquiDepth must produce
+// strictly monotone boundaries, non-negative bucket masses summing to the
+// table cardinality, and a domain enclosing every value.
+func TestEquiDepthProperties(t *testing.T) {
+	for seed := int64(0); seed < propertySeeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		coords := genCoords(rng)
+		buckets := 1 + rng.Intn(32)
+		unit := 1.0
+		if rng.Intn(2) == 0 {
+			unit = 1e-6
+		}
+		h, err := BuildEquiDepth("c", coords, buckets, unit, 1)
+		if err != nil {
+			t.Fatalf("seed %d: BuildEquiDepth: %v", seed, err)
+		}
+		checkGrid(t, h, seed, "equidepth")
+
+		// Bucket frequencies sum to the cardinality (mass is normalized,
+		// so sum(mass)*n == n) and every value lies inside the domain.
+		lo, hi := h.Domain(0)
+		n := float64(len(coords))
+		card := 0.0
+		for _, m := range h.Snapshot().Mass {
+			card += m * n
+		}
+		if math.Abs(card-n) > 1e-6*n {
+			t.Fatalf("seed %d: bucket frequencies sum to %g, table has %g rows", seed, card, n)
+		}
+		for _, c := range coords {
+			if c < lo || c >= hi {
+				t.Fatalf("seed %d: value %g outside domain [%g,%g)", seed, c, lo, hi)
+			}
+		}
+		// The full-domain estimate must return (approximately) everything.
+		got, err := h.EstimateBox(Box{Lo: []float64{lo}, Hi: []float64{hi}})
+		if err != nil {
+			t.Fatalf("seed %d: EstimateBox: %v", seed, err)
+		}
+		if math.Abs(got-1) > 1e-6 {
+			t.Fatalf("seed %d: full-domain estimate %g, want 1", seed, got)
+		}
+	}
+}
+
+// TestMaxEntropyUpdateProperties: feeding an arbitrary sequence of sampled
+// constraints into an arbitrary grid must never yield a negative bucket
+// count, a non-monotone cut list, or a total mass drifting from 1 — the
+// IPF refit renormalizes whatever the observations claim.
+func TestMaxEntropyUpdateProperties(t *testing.T) {
+	for seed := int64(0); seed < propertySeeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		dims := 1 + rng.Intn(2)
+		cols := []string{"a", "b"}[:dims]
+		lo := make([]float64, dims)
+		hi := make([]float64, dims)
+		for d := range lo {
+			lo[d] = rng.Float64() * 10
+			hi[d] = lo[d] + 1 + rng.Float64()*100
+		}
+		h, err := NewGrid(cols, lo, hi, 0)
+		if err != nil {
+			t.Fatalf("seed %d: NewGrid: %v", seed, err)
+		}
+		nCons := 1 + rng.Intn(8)
+		for k := 0; k < nCons; k++ {
+			b := Box{Lo: make([]float64, dims), Hi: make([]float64, dims)}
+			for d := range b.Lo {
+				a := lo[d] + rng.Float64()*(hi[d]-lo[d])
+				c := lo[d] + rng.Float64()*(hi[d]-lo[d])
+				if a > c {
+					a, c = c, a
+				}
+				if a == c {
+					c = a + (hi[d]-lo[d])/100
+				}
+				b.Lo[d], b.Hi[d] = a, c
+			}
+			// Deliberately include contradictory fractions (e.g. disjoint
+			// boxes both claiming 0.9): the conflict-resolution path must
+			// still leave a valid distribution.
+			if err := h.AddConstraint(b, rng.Float64(), int64(k+1)); err != nil {
+				t.Fatalf("seed %d: AddConstraint %d: %v", seed, k, err)
+			}
+			checkGrid(t, h, seed, "max-entropy update")
+		}
+	}
+}
+
+// TestEquiDepthBucketCardinality cross-checks per-bucket row counts against
+// a direct scan: each bucket's mass times cardinality must equal the number
+// of coordinates falling inside the bucket's half-open range.
+func TestEquiDepthBucketCardinality(t *testing.T) {
+	for seed := int64(0); seed < propertySeeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		coords := genCoords(rng)
+		h, err := BuildEquiDepth("c", coords, 1+rng.Intn(16), 1e-6, 1)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		s := h.Snapshot()
+		cuts := s.Cuts[0]
+		n := float64(len(coords))
+		for b := 0; b < len(s.Mass); b++ {
+			want := 0
+			for _, c := range coords {
+				if c >= cuts[b] && c < cuts[b+1] {
+					want++
+				}
+			}
+			got := s.Mass[b] * n
+			if math.Abs(got-float64(want)) > 1e-6*math.Max(1, n) {
+				t.Fatalf("seed %d: bucket %d [%g,%g) mass*n=%g, scan says %d",
+					seed, b, cuts[b], cuts[b+1], got, want)
+			}
+		}
+	}
+}

@@ -143,3 +143,18 @@ func Explain(n Node) string {
 	n.explain(&sb, 0)
 	return sb.String()
 }
+
+// ExplainParallel renders the join tree under a Gather header naming the
+// worker count, the shape the executor's morsel-driven operators run in
+// when the degree of parallelism exceeds one. workers <= 1 renders the
+// plain serial plan, so golden EXPLAIN output diffs cleanly between the
+// two modes.
+func ExplainParallel(n Node, workers int) string {
+	if workers <= 1 {
+		return Explain(n)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Gather(workers=%d)\n", workers)
+	n.explain(&sb, 1)
+	return sb.String()
+}

@@ -13,12 +13,61 @@ package sampling
 
 import (
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/costmodel"
 	"repro/internal/qgm"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
+
+// evalMorselSize is the number of sample rows (or whole predicates) one
+// parallel evaluation worker claims at a time.
+const evalMorselSize = 512
+
+// forEachChunk runs fn over [0, n) in fixed-size chunks across up to dop
+// workers, claiming chunks from an atomic cursor. fn must only write state
+// owned by its chunk. Serial (and deterministic in call order) at dop <= 1.
+func forEachChunk(n, dop, chunkSize int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunks := (n + chunkSize - 1) / chunkSize
+	if dop > chunks {
+		dop = chunks
+	}
+	if dop <= 1 {
+		for c := 0; c < chunks; c++ {
+			hi := (c + 1) * chunkSize
+			if hi > n {
+				hi = n
+			}
+			fn(c*chunkSize, hi)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < dop; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				hi := (c + 1) * chunkSize
+				if hi > n {
+					hi = n
+				}
+				fn(c*chunkSize, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // Sampler draws deterministic pseudo-random samples; a fixed seed makes
 // whole experiment runs reproducible.
@@ -38,32 +87,62 @@ func New(seed int64) *Sampler {
 // sample, not the table, mirroring the paper's observation that collection
 // cost is independent of table size.
 func (s *Sampler) Rows(tbl *storage.Table, size int, meter *costmodel.Meter, w costmodel.Weights) [][]value.Datum {
+	return s.RowsParallel(tbl, size, meter, w, 1)
+}
+
+// RowsParallel is Rows with the row fetches fanned out across up to dop
+// workers. The pseudo-random pick positions are still drawn serially from
+// the sampler's rng — the drawn sample, its order, and the meter charge are
+// identical to Rows at any dop; only the copying parallelizes.
+func (s *Sampler) RowsParallel(tbl *storage.Table, size int, meter *costmodel.Meter, w costmodel.Weights, dop int) [][]value.Datum {
 	n := tbl.RowCount()
 	if n == 0 || size <= 0 {
 		return nil
 	}
 	if n <= size*2 {
-		out := make([][]value.Datum, 0, n)
-		tbl.Scan(func(_ int, row []value.Datum) bool {
-			out = append(out, append([]value.Datum(nil), row...))
-			return true
+		// Copy the table whole, morsel-parallel in storage order.
+		chunks := (n + evalMorselSize - 1) / evalMorselSize
+		buckets := make([][][]value.Datum, chunks)
+		forEachChunk(n, dop, evalMorselSize, func(lo, hi int) {
+			var rows [][]value.Datum
+			tbl.ScanRange(lo, hi, func(_ int, row []value.Datum) bool {
+				rows = append(rows, append([]value.Datum(nil), row...))
+				return true
+			})
+			buckets[lo/evalMorselSize] = rows
 		})
+		var out [][]value.Datum
+		for _, b := range buckets {
+			out = append(out, b...)
+		}
 		meter.Add(w.SampleRow * float64(len(out)))
 		return out
 	}
 	picked := make(map[int]bool, size)
-	out := make([][]value.Datum, 0, size)
-	for len(out) < size {
+	positions := make([]int, 0, size)
+	for len(positions) < size {
 		idx := s.rng.Intn(n)
 		if picked[idx] {
 			continue
 		}
 		picked[idx] = true
-		row, err := tbl.Row(idx)
-		if err != nil {
-			continue // concurrent shrink; skip
+		positions = append(positions, idx)
+	}
+	slots := make([][]value.Datum, len(positions))
+	forEachChunk(len(positions), dop, evalMorselSize, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row, err := tbl.Row(positions[i])
+			if err != nil {
+				continue // concurrent shrink; skip
+			}
+			slots[i] = row
 		}
-		out = append(out, row)
+	})
+	out := make([][]value.Datum, 0, len(slots))
+	for _, row := range slots {
+		if row != nil {
+			out = append(out, row)
+		}
 	}
 	meter.Add(w.SampleRow * float64(len(out)))
 	return out
@@ -75,46 +154,81 @@ func (s *Sampler) Rows(tbl *storage.Table, size int, meter *costmodel.Meter, w c
 // predicates|, not by the exponential group count. A nil sample yields all
 // zeros.
 func EvaluateGroups(sample [][]value.Datum, groups [][]qgm.Predicate, meter *costmodel.Meter, w costmodel.Weights) []float64 {
+	return EvaluateGroupsParallel(sample, groups, meter, w, 1)
+}
+
+// EvaluateGroupsParallel is EvaluateGroups with both phases fanned out
+// across up to dop workers: each distinct predicate's match vector is
+// computed by row-morsels, and the per-group conjunction counts run one
+// group per worker. Selectivities and meter totals are identical to the
+// serial evaluation at any dop (each worker charges a local sub-meter,
+// merged once), so compile-time statistics — and therefore plans — do not
+// depend on the degree of parallelism.
+func EvaluateGroupsParallel(sample [][]value.Datum, groups [][]qgm.Predicate, meter *costmodel.Meter, w costmodel.Weights, dop int) []float64 {
 	out := make([]float64, len(groups))
 	if len(sample) == 0 {
 		return out
 	}
-	type vecKey struct{ s string }
-	vectors := make(map[vecKey][]bool)
-	vectorFor := func(p qgm.Predicate) []bool {
-		k := vecKey{p.String()}
-		if v, ok := vectors[k]; ok {
-			return v
-		}
-		v := make([]bool, len(sample))
-		for i, row := range sample {
-			v[i] = p.Matches(row)
-		}
-		vectors[k] = v
-		meter.Add(w.PredEval * float64(len(sample)))
-		return v
+
+	// Distinct predicates across all groups, in deterministic first-use
+	// order; each gets one shared match vector.
+	type predEntry struct {
+		pred qgm.Predicate
+		vec  []bool
 	}
-	for gi, group := range groups {
-		if len(group) == 0 {
-			out[gi] = 1
-			continue
-		}
-		vecs := make([][]bool, len(group))
-		for i, p := range group {
-			vecs[i] = vectorFor(p)
-		}
-		count := 0
-	rows:
-		for i := range sample {
-			for _, v := range vecs {
-				if !v[i] {
-					continue rows
-				}
+	index := make(map[string]int)
+	var entries []*predEntry
+	for _, group := range groups {
+		for _, p := range group {
+			k := p.String()
+			if _, ok := index[k]; !ok {
+				index[k] = len(entries)
+				entries = append(entries, &predEntry{pred: p})
 			}
-			count++
 		}
-		out[gi] = float64(count) / float64(len(sample))
 	}
+
+	// Phase 1: match vectors, one predicate per chunk (vectors are
+	// independent; rows within a vector stay sequential for locality).
+	forEachChunk(len(entries), dop, 1, func(lo, hi int) {
+		sub := meter.Worker()
+		for ei := lo; ei < hi; ei++ {
+			e := entries[ei]
+			v := make([]bool, len(sample))
+			for i, row := range sample {
+				v[i] = e.pred.Matches(row)
+			}
+			e.vec = v
+			sub.Add(w.PredEval * float64(len(sample)))
+		}
+		sub.Merge()
+	})
+
+	// Phase 2: conjunction counts, one group per chunk.
+	forEachChunk(len(groups), dop, 1, func(lo, hi int) {
+		for gi := lo; gi < hi; gi++ {
+			group := groups[gi]
+			if len(group) == 0 {
+				out[gi] = 1
+				continue
+			}
+			vecs := make([][]bool, len(group))
+			for i, p := range group {
+				vecs[i] = entries[index[p.String()]].vec
+			}
+			count := 0
+		rows:
+			for i := range sample {
+				for _, v := range vecs {
+					if !v[i] {
+						continue rows
+					}
+				}
+				count++
+			}
+			out[gi] = float64(count) / float64(len(sample))
+		}
+	})
 	return out
 }
 

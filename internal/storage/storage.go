@@ -193,6 +193,28 @@ func (t *Table) Scan(fn func(rowIdx int, row []value.Datum) bool) {
 	}
 }
 
+// ScanRange invokes fn for rows [lo, hi) in storage order until fn returns
+// false; the bounds are clamped to the current row count, so a morsel issued
+// against a since-shrunk table simply sees fewer rows. Like Scan, the row
+// slice is shared — callers must copy retained rows — and the read lock is
+// held for the duration, so parallel executor workers each scanning their
+// own morsel never observe a half-applied mutation.
+func (t *Table) ScanRange(lo, hi int, fn func(rowIdx int, row []value.Datum) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(t.rows) {
+		hi = len(t.rows)
+	}
+	for i := lo; i < hi; i++ {
+		if !fn(i, t.rows[i]) {
+			return
+		}
+	}
+}
+
 // Row returns a copy of the row at position idx.
 func (t *Table) Row(idx int) ([]value.Datum, error) {
 	t.mu.RLock()

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench fuzz check
+.PHONY: all build test race vet bench fuzz chaos check
 
 all: build
 
@@ -26,5 +26,12 @@ bench:
 # corpus alone is replayed by every plain `make test`.
 fuzz:
 	$(GO) test -run TestDifferential -fuzz=FuzzParallelSerial -fuzztime=30s ./internal/engine/
+
+# Chaos differential replay: the workload under deterministic injected
+# faults (scan errors, sampling failures, worker panics, latency+deadlines,
+# archive corruption). -count=2 re-arms every schedule from scratch, so a
+# test that forgot to reset the fault registry fails here.
+chaos:
+	$(GO) test -run Chaos -count=2 ./...
 
 check: build vet test race

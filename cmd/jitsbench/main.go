@@ -173,10 +173,10 @@ func fig3(opts experiments.Options) error {
 	var qRows [][]string
 	for _, s := range experiments.AllSettings() {
 		for _, t := range res.Timings[s] {
-			qRows = append(qRows, []string{s.String(), strconv.Itoa(t.Index), f64(t.Compile), f64(t.Exec), f64(t.Total)})
+			qRows = append(qRows, []string{s.String(), strconv.Itoa(t.Index), f64(t.Compile), f64(t.Exec), f64(t.Total), strconv.Itoa(t.Degraded)})
 		}
 	}
-	writeCSV("fig3_timings.csv", []string{"setting", "query", "compile_s", "exec_s", "total_s"}, qRows)
+	writeCSV("fig3_timings.csv", []string{"setting", "query", "compile_s", "exec_s", "total_s", "degraded_tables"}, qRows)
 	fmt.Println("\nexpected shape: JITS distribution sits below all three baselines (paper Fig. 3)")
 	return nil
 }
@@ -252,9 +252,9 @@ func oltp(opts experiments.Options) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-22s %14s %14s %14s\n", "mode", "avg compile", "avg exec", "avg total")
+	fmt.Printf("%-22s %14s %14s %14s %10s\n", "mode", "avg compile", "avg exec", "avg total", "degraded")
 	for _, r := range rows {
-		fmt.Printf("%-22s %14.5f %14.5f %14.5f\n", r.Mode, r.AvgCompile, r.AvgExec, r.AvgTotal)
+		fmt.Printf("%-22s %14.5f %14.5f %14.5f %10d\n", r.Mode, r.AvgCompile, r.AvgExec, r.AvgTotal, r.DegradedTables)
 	}
 	fmt.Println("\nexpected shape: forced collection loses on simple queries; the sensitivity")
 	fmt.Println("analysis contains the overhead (paper §3.5)")

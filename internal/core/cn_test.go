@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/catalog"
@@ -34,7 +35,7 @@ func TestCNCollectsWhenPlansDiverge(t *testing.T) {
 	// diverge and CN demands collection.
 	q := buildQuery(t, db, `SELECT id FROM car WHERE make = 'Toyota' AND model = 'Camry'`)
 	var m costmodel.Meter
-	_, rep, err := j.Prepare(q, db, 1, &m, costmodel.DefaultWeights())
+	_, rep, err := j.Prepare(context.Background(), q, db, 1, &m, costmodel.DefaultWeights())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestCNSkipsWhenStatisticsSufficient(t *testing.T) {
 	}
 	j.cat.SetTableStats(st)
 	q := buildQuery(t, db, `SELECT id FROM car WHERE make = 'Toyota' AND model = 'Camry'`)
-	_, rep, err := j.Prepare(q, db, 2, &m, costmodel.DefaultWeights())
+	_, rep, err := j.Prepare(context.Background(), q, db, 2, &m, costmodel.DefaultWeights())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestCNChargesOptimizerProbes(t *testing.T) {
 	// Lightweight strategy compile charge for the same decision.
 	jLight := New(DefaultConfig(), feedback.NewHistory(), catalog.New())
 	var mLight costmodel.Meter
-	if _, _, err := jLight.Prepare(q, db, 1, &mLight, w); err != nil {
+	if _, _, err := jLight.Prepare(context.Background(), q, db, 1, &mLight, w); err != nil {
 		t.Fatal(err)
 	}
 
@@ -81,7 +82,7 @@ func TestCNChargesOptimizerProbes(t *testing.T) {
 	jCN := cnJITS(t, db2, DefaultConfig())
 	var mCN costmodel.Meter
 	q2 := buildQuery(t, db2, `SELECT id FROM car WHERE make = 'Toyota' AND model = 'Camry'`)
-	if _, _, err := jCN.Prepare(q2, db2, 1, &mCN, w); err != nil {
+	if _, _, err := jCN.Prepare(context.Background(), q2, db2, 1, &mCN, w); err != nil {
 		t.Fatal(err)
 	}
 	// Both collect (sampling dominates), but CN additionally pays the plan

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -60,6 +62,16 @@ type Config struct {
 	// and therefore plans are identical at any setting; values <= 1 run
 	// serially.
 	Parallelism int
+	// SampleBudgetRows caps the total rows sampled during one Prepare
+	// across all of the statement's tables; 0 means unlimited. When the
+	// budget runs low the last table's sample shrinks to the remainder and
+	// later tables degrade to catalog statistics — the statement always
+	// compiles.
+	SampleBudgetRows int
+	// SampleBudgetUnits caps the simulated-cost units one Prepare may
+	// charge to the compilation meter before further collection degrades
+	// to catalog statistics; 0 means unlimited.
+	SampleBudgetUnits float64
 }
 
 // withDefaults fills zero-valued knobs. SMax stays as given: an explicit
@@ -99,6 +111,7 @@ type JITS struct {
 	cat     *catalog.Catalog
 	sampler *sampling.Sampler
 	indexes *index.Set // bound by the engine; used by StrategyCN plan probes
+	degrade costmodel.Degradation
 }
 
 // New builds a JITS coordinator sharing the engine's catalog and feedback
@@ -112,6 +125,12 @@ func New(cfg Config, history *feedback.History, cat *catalog.Catalog) *JITS {
 		cat:     cat,
 		sampler: sampling.New(cfg.Seed),
 	}
+}
+
+// DegradationCounts snapshots the cumulative graceful-degradation counters:
+// how many tables fell back to catalog statistics, by cause.
+func (j *JITS) DegradationCounts() costmodel.DegradationCounts {
+	return j.degrade.Counts()
 }
 
 // Config returns the active configuration.
@@ -178,11 +197,22 @@ type TableReport struct {
 	SampleRows         int
 	GroupsEvaluated    int
 	GroupsMaterialized int
+	// Degraded is set when the sensitivity analysis wanted to collect
+	// statistics for this table but collection was abandoned (budget
+	// exhaustion, sampling error, cancellation, or a recovered panic) and
+	// the optimizer fell back to catalog statistics. DegradeReason says
+	// why.
+	Degraded      bool
+	DegradeReason string
 }
 
 // PrepareReport summarizes one Prepare call for experiments and logging.
 type PrepareReport struct {
 	Tables []TableReport
+	// Degraded is set when at least one table fell back to catalog
+	// statistics; FallbackTables lists them in collection order.
+	Degraded       bool
+	FallbackTables []string
 }
 
 // CollectedTables counts tables that were sampled.
@@ -196,15 +226,31 @@ func (r *PrepareReport) CollectedTables() int {
 	return n
 }
 
+// DegradedTables counts tables that fell back to catalog statistics.
+func (r *PrepareReport) DegradedTables() int { return len(r.FallbackTables) }
+
 // Prepare runs the JITS compile-time pipeline for a query: Algorithm 1
 // (candidate groups), Algorithm 2/3 (which tables to sample), one-pass
 // sampling and group evaluation, Algorithm 4 (which statistics to
 // materialize into the archive), cardinality refresh, and UDI reset. The
 // meter is the *compilation* meter: everything charged here is the paper's
 // "JITS overhead" that shows up in compilation time.
-func (j *JITS) Prepare(q *qgm.Query, db *storage.Database, ts int64, meter *costmodel.Meter, w costmodel.Weights) (*QueryStats, *PrepareReport, error) {
+//
+// Prepare degrades instead of failing: if a table's collection is cut short
+// by the sampling budgets (Config.SampleBudgetRows/SampleBudgetUnits), a
+// sampling error, a recovered panic, or ctx cancellation, that table is
+// reported in PrepareReport.FallbackTables, its UDI counters are left
+// intact (so the next query re-considers it), and the returned QueryStats
+// simply lacks its fresh entries — the optimizer transparently falls back
+// to archived/catalog statistics, mirroring the paper's rule that DB2
+// reverts to traditional processing whenever QSS cannot be collected. The
+// only errors Prepare returns are structural (unknown table).
+func (j *JITS) Prepare(ctx context.Context, q *qgm.Query, db *storage.Database, ts int64, meter *costmodel.Meter, w costmodel.Weights) (*QueryStats, *PrepareReport, error) {
 	if !j.cfg.Enabled {
 		return nil, &PrepareReport{}, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -276,6 +322,20 @@ func (j *JITS) Prepare(q *qgm.Query, db *storage.Database, ts int64, meter *cost
 	}
 	sort.Strings(order)
 
+	// Budget accounting for this statement's collection: rows drawn and
+	// simulated-cost units charged since Prepare began.
+	startUnits := meter.Units()
+	rowsUsed := 0
+
+	degrade := func(tr *TableReport, reason string, record func()) {
+		tr.Collected = false
+		tr.Degraded = true
+		tr.DegradeReason = reason
+		report.Degraded = true
+		report.FallbackTables = append(report.FallbackTables, tr.Table)
+		record()
+	}
+
 	for _, name := range order {
 		tw := byTable[name]
 		tbl, ok := db.Table(name)
@@ -300,53 +360,108 @@ func (j *JITS) Prepare(q *qgm.Query, db *storage.Database, ts int64, meter *cost
 			GroupsEvaluated: len(tw.groups),
 		}
 		if collect {
-			sample := j.sampler.RowsParallel(tbl, j.cfg.SampleSize, meter, w, j.cfg.Parallelism)
-			if j.cfg.PerGroupSampling && len(tw.groups) > 1 {
-				// Prototype-faithful costing: every additional candidate
-				// group pays its own sampling query.
-				meter.Add(w.SampleRow * float64(len(sample)) * float64(len(tw.groups)-1))
-			}
-			sels := sampling.EvaluateGroupsParallel(sample, tw.groups, meter, w, j.cfg.Parallelism)
-			floor := sampling.SelectivityFloor(len(sample))
-			domains := SampleDomains(tbl.Schema(), sample)
-
-			card := int64(tbl.RowCount())
-			j.archive.SetCardinality(name, card, ts)
-			qs.cards[name] = card
-
-			// Distinct-value estimates per column from the same sample
-			// (Duj1), refreshed into the archive for join estimation.
-			schema := tbl.Schema()
-			for c := 0; c < schema.NumColumns(); c++ {
-				colVals := make([]value.Datum, len(sample))
-				for ri, row := range sample {
-					colVals[ri] = row[c]
+			switch {
+			case ctx.Err() != nil:
+				degrade(&tr, fmt.Sprintf("cancelled: %v", ctx.Err()), j.degrade.RecordCancellation)
+			case j.cfg.SampleBudgetUnits > 0 && meter.Units()-startUnits >= j.cfg.SampleBudgetUnits:
+				degrade(&tr, "cost budget exhausted", j.degrade.RecordBudgetExhausted)
+			case j.cfg.SampleBudgetRows > 0 && rowsUsed >= j.cfg.SampleBudgetRows:
+				degrade(&tr, "sample-row budget exhausted", j.degrade.RecordBudgetExhausted)
+			default:
+				size := j.cfg.SampleSize
+				if j.cfg.SampleBudgetRows > 0 && rowsUsed+size > j.cfg.SampleBudgetRows {
+					size = j.cfg.SampleBudgetRows - rowsUsed
 				}
-				if ndv := sampling.EstimateNDV(colVals, int(card)); ndv > 0 {
-					j.archive.SetColumnNDV(name, schema.Column(c).Name, ndv, ts)
-				}
-			}
-
-			for gi, g := range tw.groups {
-				sel := sels[gi]
-				if sel <= 0 {
-					sel = floor
-				}
-				qs.fresh[qgm.PredicateGroupKey(name, g)] = sel
-
-				materialize := j.cfg.ForceCollect || sens.ShouldMaterialize(name, g)
-				if materialize {
-					touched := j.archive.Materialize(name, g, sel, ts, domains)
-					meter.Add(w.HistUpdate * float64(touched))
-					tr.GroupsMaterialized++
+				if err := j.collectTable(ctx, tbl, name, tw.groups, size, qs, &tr, sens, ts, meter, w); err != nil {
+					switch {
+					case ctx.Err() != nil:
+						degrade(&tr, fmt.Sprintf("cancelled: %v", err), j.degrade.RecordCancellation)
+					case isRecoveredPanic(err):
+						degrade(&tr, err.Error(), j.degrade.RecordPanic)
+					default:
+						degrade(&tr, fmt.Sprintf("sampling error: %v", err), j.degrade.RecordSamplingError)
+					}
+				} else {
+					rowsUsed += tr.SampleRows
+					// Collection succeeded: the UDI activity the sample
+					// reflects has been absorbed into fresh statistics.
+					tbl.ResetUDI()
 				}
 			}
-			tr.SampleRows = len(sample)
-			tbl.ResetUDI()
 		}
 		report.Tables = append(report.Tables, tr)
 	}
 	return qs, report, nil
+}
+
+// panicError marks a collection panic recovered inside collectTable.
+type panicError struct{ val any }
+
+func (p *panicError) Error() string { return fmt.Sprintf("recovered panic: %v", p.val) }
+
+func isRecoveredPanic(err error) bool {
+	var pe *panicError
+	return errors.As(err, &pe)
+}
+
+// collectTable samples one table and folds the observed selectivities, NDVs
+// and materialized histograms into qs, tr and the archive. Any panic in the
+// sampling/evaluation machinery (including injected worker panics) is
+// recovered into an error so the caller can degrade instead of crashing the
+// statement.
+func (j *JITS) collectTable(ctx context.Context, tbl *storage.Table, name string, groups [][]qgm.Predicate, size int, qs *QueryStats, tr *TableReport, sens *Sensitivity, ts int64, meter *costmodel.Meter, w costmodel.Weights) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &panicError{val: p}
+		}
+	}()
+
+	sample, err := j.sampler.Sample(ctx, tbl, size, meter, w, j.cfg.Parallelism)
+	if err != nil {
+		return err
+	}
+	if j.cfg.PerGroupSampling && len(groups) > 1 {
+		// Prototype-faithful costing: every additional candidate
+		// group pays its own sampling query.
+		meter.Add(w.SampleRow * float64(len(sample)) * float64(len(groups)-1))
+	}
+	sels := sampling.EvaluateGroupsParallel(sample, groups, meter, w, j.cfg.Parallelism)
+	floor := sampling.SelectivityFloor(len(sample))
+	domains := SampleDomains(tbl.Schema(), sample)
+
+	card := int64(tbl.RowCount())
+	j.archive.SetCardinality(name, card, ts)
+	qs.cards[name] = card
+
+	// Distinct-value estimates per column from the same sample
+	// (Duj1), refreshed into the archive for join estimation.
+	schema := tbl.Schema()
+	for c := 0; c < schema.NumColumns(); c++ {
+		colVals := make([]value.Datum, len(sample))
+		for ri, row := range sample {
+			colVals[ri] = row[c]
+		}
+		if ndv := sampling.EstimateNDV(colVals, int(card)); ndv > 0 {
+			j.archive.SetColumnNDV(name, schema.Column(c).Name, ndv, ts)
+		}
+	}
+
+	for gi, g := range groups {
+		sel := sels[gi]
+		if sel <= 0 {
+			sel = floor
+		}
+		qs.fresh[qgm.PredicateGroupKey(name, g)] = sel
+
+		materialize := j.cfg.ForceCollect || sens.ShouldMaterialize(name, g)
+		if materialize {
+			touched := j.archive.Materialize(name, g, sel, ts, domains)
+			meter.Add(w.HistUpdate * float64(touched))
+			tr.GroupsMaterialized++
+		}
+	}
+	tr.SampleRows = len(sample)
+	return nil
 }
 
 // SampleDomains derives per-column domains (coordinate range + unit) from

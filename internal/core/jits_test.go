@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -76,7 +77,7 @@ func TestPrepareDisabled(t *testing.T) {
 	j := New(Config{Enabled: false}, feedback.NewHistory(), catalog.New())
 	q := buildQuery(t, db, `SELECT id FROM car WHERE make = 'Toyota'`)
 	var m costmodel.Meter
-	qs, rep, err := j.Prepare(q, db, 1, &m, costmodel.DefaultWeights())
+	qs, rep, err := j.Prepare(context.Background(), q, db, 1, &m, costmodel.DefaultWeights())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestPrepareCollectsExactJointSelectivity(t *testing.T) {
 	j := New(cfg, feedback.NewHistory(), catalog.New())
 	q := buildQuery(t, db, `SELECT id FROM car WHERE make = 'Toyota' AND model = 'Camry'`)
 	var m costmodel.Meter
-	qs, rep, err := j.Prepare(q, db, 1, &m, costmodel.DefaultWeights())
+	qs, rep, err := j.Prepare(context.Background(), q, db, 1, &m, costmodel.DefaultWeights())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestPrepareResetsUDIAndFillsArchive(t *testing.T) {
 	j := New(cfg, feedback.NewHistory(), catalog.New())
 	q := buildQuery(t, db, `SELECT id FROM car WHERE make = 'Toyota' AND year > 2000`)
 	var m costmodel.Meter
-	_, rep, err := j.Prepare(q, db, 1, &m, costmodel.DefaultWeights())
+	_, rep, err := j.Prepare(context.Background(), q, db, 1, &m, costmodel.DefaultWeights())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestArchiveReusedAcrossQueries(t *testing.T) {
 	// Query 1 materializes (make, model) stats.
 	q1 := buildQuery(t, db, `SELECT id FROM car WHERE make = 'Toyota' AND model = 'Camry'`)
 	var m costmodel.Meter
-	if _, _, err := j.Prepare(q1, db, 1, &m, costmodel.DefaultWeights()); err != nil {
+	if _, _, err := j.Prepare(context.Background(), q1, db, 1, &m, costmodel.DefaultWeights()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -221,7 +222,7 @@ func TestSensitivitySkipsFreshTables(t *testing.T) {
 
 	// First prepare: cold → collects; nothing materializes yet (empty
 	// history gives Algorithm 4 no usefulness evidence).
-	_, rep1, err := j.Prepare(q, db, 1, &m, w)
+	_, rep1, err := j.Prepare(context.Background(), q, db, 1, &m, w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestSensitivitySkipsFreshTables(t *testing.T) {
 	// Second prepare: the one-shot statistic is gone (never materialized),
 	// so its accuracy evidence is void → collect again; the recurring
 	// column group now bootstraps into the archive.
-	_, rep2, err := j.Prepare(q, db, 2, &m, w)
+	_, rep2, err := j.Prepare(context.Background(), q, db, 2, &m, w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestSensitivitySkipsFreshTables(t *testing.T) {
 	perfectFeedback()
 
 	// Third prepare: accurate archived statistics, no churn → skip.
-	_, rep3, err := j.Prepare(q, db, 3, &m, w)
+	_, rep3, err := j.Prepare(context.Background(), q, db, 3, &m, w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestSelfJoinSharesOneSample(t *testing.T) {
 	q := buildQuery(t, db, `SELECT c1.id FROM car c1, car c2
 		WHERE c1.id = c2.id AND c1.make = 'Toyota' AND c2.make = 'Honda'`)
 	var m costmodel.Meter
-	_, rep, err := j.Prepare(q, db, 1, &m, costmodel.DefaultWeights())
+	_, rep, err := j.Prepare(context.Background(), q, db, 1, &m, costmodel.DefaultWeights())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,7 @@ func TestMigrateToCatalogViaCoordinator(t *testing.T) {
 	j := New(cfg, feedback.NewHistory(), cat)
 	q := buildQuery(t, db, `SELECT id FROM car WHERE year > 2000`)
 	var m costmodel.Meter
-	if _, _, err := j.Prepare(q, db, 1, &m, costmodel.DefaultWeights()); err != nil {
+	if _, _, err := j.Prepare(context.Background(), q, db, 1, &m, costmodel.DefaultWeights()); err != nil {
 		t.Fatal(err)
 	}
 	n := j.MigrateToCatalog(2)
@@ -336,7 +337,7 @@ func TestPrepareUnknownTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	var m costmodel.Meter
-	if _, _, err := j.Prepare(q, db, 1, &m, costmodel.DefaultWeights()); err == nil {
+	if _, _, err := j.Prepare(context.Background(), q, db, 1, &m, costmodel.DefaultWeights()); err == nil {
 		t.Error("prepare must fail for a missing table")
 	}
 }

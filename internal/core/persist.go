@@ -3,14 +3,24 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 
+	"repro/internal/faultinject"
 	"repro/internal/histogram"
 )
 
 // Serialized archive state. In the paper's prototype the QSS archive lives
 // inside DB2's catalog tables and therefore persists across restarts; here
 // Save/Load provide the same durability through JSON.
+//
+// Since envelope version 2 the snapshot is wrapped in a checksummed
+// envelope: {"version":2,"crc32":<IEEE CRC-32 of payload>,"payload":<base64
+// snapshot JSON>}. The checksum is computed over the exact payload bytes
+// before writing, so any at-rest corruption (including the faults injected
+// at the archive.save/archive.load points) is detected at load time instead
+// of silently feeding garbage statistics to the optimizer. Version-1 files
+// (the bare snapshot JSON) still load.
 
 type gridSnapshot struct {
 	Key   string             `json:"key"`
@@ -50,8 +60,18 @@ type archiveSnapshot struct {
 
 const archiveSnapshotVersion = 1
 
-// Save serializes the archive to w as JSON.
-func (a *Archive) Save(w io.Writer) error {
+// archiveEnvelope is the on-disk wrapper since version 2: the snapshot JSON
+// as an opaque byte payload plus its CRC-32 (IEEE). Payload marshals as
+// base64, which keeps injected byte-level corruption representable.
+type archiveEnvelope struct {
+	Version  int    `json:"version"`
+	Checksum uint32 `json:"crc32"`
+	Payload  []byte `json:"payload"`
+}
+
+const archiveEnvelopeVersion = 2
+
+func (a *Archive) snapshot() archiveSnapshot {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	snap := archiveSnapshot{
@@ -73,17 +93,56 @@ func (a *Archive) Save(w io.Writer) error {
 	for key, n := range a.ndvs {
 		snap.NDVs = append(snap.NDVs, ndvSnapshot{Key: key, NDV: n.ndv, TS: n.ts})
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(snap)
+	return snap
 }
 
-// LoadArchive deserializes an archive previously written by Save,
-// validating every histogram.
+// Save serializes the archive to w as a checksummed JSON envelope. The
+// checksum is taken before the archive.save fault point, so a corrupted
+// persist is caught by the next LoadArchive rather than trusted.
+func (a *Archive) Save(w io.Writer) error {
+	payload, err := json.Marshal(a.snapshot())
+	if err != nil {
+		return fmt.Errorf("core: encoding archive: %w", err)
+	}
+	sum := crc32.ChecksumIEEE(payload)
+	payload = faultinject.CorruptIf(faultinject.ArchiveSave, payload)
+	enc := json.NewEncoder(w)
+	return enc.Encode(archiveEnvelope{
+		Version:  archiveEnvelopeVersion,
+		Checksum: sum,
+		Payload:  payload,
+	})
+}
+
+// LoadArchive deserializes an archive previously written by Save, verifying
+// the envelope checksum and validating every histogram. Version-1 files
+// (bare snapshot, no checksum) are still accepted.
 func LoadArchive(r io.Reader) (*Archive, error) {
-	var snap archiveSnapshot
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(&snap); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading archive: %w", err)
+	}
+	var env archiveEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
 		return nil, fmt.Errorf("core: decoding archive: %w", err)
+	}
+	var snap archiveSnapshot
+	switch env.Version {
+	case archiveEnvelopeVersion:
+		payload := faultinject.CorruptIf(faultinject.ArchiveLoad, env.Payload)
+		if sum := crc32.ChecksumIEEE(payload); sum != env.Checksum {
+			return nil, fmt.Errorf("core: archive checksum mismatch (crc32 %08x, expected %08x): corrupted snapshot", sum, env.Checksum)
+		}
+		if err := json.Unmarshal(payload, &snap); err != nil {
+			return nil, fmt.Errorf("core: decoding archive payload: %w", err)
+		}
+	case archiveSnapshotVersion:
+		// Legacy bare-snapshot file: no checksum to verify.
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, fmt.Errorf("core: decoding legacy archive: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("core: archive version %d not supported", env.Version)
 	}
 	if snap.Version != archiveSnapshotVersion {
 		return nil, fmt.Errorf("core: archive snapshot version %d not supported", snap.Version)

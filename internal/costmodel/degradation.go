@@ -1,0 +1,75 @@
+package costmodel
+
+import "sync/atomic"
+
+// Degradation counts the graceful-degradation events of a JITS instance:
+// every time statistics collection for a table was skipped or abandoned and
+// the optimizer fell back to catalog statistics. The counters are cumulative
+// over the engine's lifetime and safe for concurrent use, mirroring the
+// monitor counters a production optimizer would expose.
+type Degradation struct {
+	samplingErrors  atomic.Int64
+	budgetExhausted atomic.Int64
+	cancellations   atomic.Int64
+	panics          atomic.Int64
+	fallbackTables  atomic.Int64
+}
+
+// DegradationCounts is a point-in-time snapshot of a Degradation.
+type DegradationCounts struct {
+	// SamplingErrors counts tables whose sampling pass returned an error.
+	SamplingErrors int64
+	// BudgetExhausted counts tables skipped because the row or cost budget
+	// for the statement was already spent.
+	BudgetExhausted int64
+	// Cancellations counts tables skipped because the statement's context
+	// was cancelled or its deadline expired.
+	Cancellations int64
+	// Panics counts tables whose collection panicked and was recovered.
+	Panics int64
+	// FallbackTables counts every table that fell back to catalog
+	// statistics, whatever the reason (the sum of the classes above).
+	FallbackTables int64
+}
+
+// Total returns the number of degradation events of any class.
+func (c DegradationCounts) Total() int64 { return c.FallbackTables }
+
+// RecordSamplingError counts one table degraded by a sampling failure.
+func (d *Degradation) RecordSamplingError() {
+	d.samplingErrors.Add(1)
+	d.fallbackTables.Add(1)
+}
+
+// RecordBudgetExhausted counts one table degraded by budget exhaustion.
+func (d *Degradation) RecordBudgetExhausted() {
+	d.budgetExhausted.Add(1)
+	d.fallbackTables.Add(1)
+}
+
+// RecordCancellation counts one table degraded by cancellation or deadline.
+func (d *Degradation) RecordCancellation() {
+	d.cancellations.Add(1)
+	d.fallbackTables.Add(1)
+}
+
+// RecordPanic counts one table degraded by a recovered collection panic.
+func (d *Degradation) RecordPanic() {
+	d.panics.Add(1)
+	d.fallbackTables.Add(1)
+}
+
+// Counts returns a snapshot of the counters. Safe to call concurrently with
+// the Record methods; a nil receiver snapshots to zero.
+func (d *Degradation) Counts() DegradationCounts {
+	if d == nil {
+		return DegradationCounts{}
+	}
+	return DegradationCounts{
+		SamplingErrors:  d.samplingErrors.Load(),
+		BudgetExhausted: d.budgetExhausted.Load(),
+		Cancellations:   d.cancellations.Load(),
+		Panics:          d.panics.Load(),
+		FallbackTables:  d.fallbackTables.Load(),
+	}
+}

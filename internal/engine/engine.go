@@ -16,10 +16,14 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -64,6 +68,12 @@ type Config struct {
 	// exactly; higher values dispatch morsels to a worker pool without
 	// changing results or metered work. Per-query override: ExecWith.
 	Parallelism int
+	// StatementTimeout bounds every statement's wall-clock time; 0 means
+	// no deadline. Expiry cancels JITS sampling at the next table boundary
+	// (the statement still compiles, degraded to catalog statistics) and
+	// execution at the next morsel boundary (the statement errors with
+	// context.DeadlineExceeded). Per-query override: ExecOptions.Timeout.
+	StatementTimeout time.Duration
 }
 
 // ExecOptions tune one Exec call — the per-query session knobs.
@@ -71,6 +81,9 @@ type ExecOptions struct {
 	// Parallelism overrides the engine's default degree of parallelism for
 	// this statement; 0 keeps the engine default, 1 forces serial.
 	Parallelism int
+	// Timeout overrides Config.StatementTimeout for this statement; 0
+	// keeps the engine default.
+	Timeout time.Duration
 }
 
 // Metrics reports the simulated timing split of one statement.
@@ -106,6 +119,8 @@ type Engine struct {
 	selectCount  int64
 	trace        io.Writer
 	parallelism  int
+	stmtTimeout  time.Duration
+	closed       atomic.Bool
 
 	// staticQSS holds the "workload statistics" baseline: column-group
 	// statistics precollected from the workload text and never refreshed.
@@ -140,6 +155,7 @@ func New(cfg Config) *Engine {
 		migrateEvery: cfg.MigrateEvery,
 		trace:        cfg.Trace,
 		parallelism:  cfg.Parallelism,
+		stmtTimeout:  cfg.StatementTimeout,
 	}
 	if cfg.ReactiveCorrections {
 		e.reactiveQSS = core.NewArchive(0, 0)
@@ -197,14 +213,60 @@ func (e *Engine) TableSchema(name string) (*storage.Schema, bool) {
 	return tbl.Schema(), true
 }
 
+// ErrClosed is returned by Exec variants after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Close marks the engine closed: subsequent Exec calls fail with ErrClosed.
+// In-flight statements finish normally (the engine has no background
+// goroutines of its own — parallel worker pools live only for the duration
+// of one operator call and always drain before it returns). Close is
+// idempotent.
+func (e *Engine) Close() error {
+	e.closed.Store(true)
+	return nil
+}
+
 // Exec parses and runs one SQL statement at the engine's default degree of
 // parallelism.
 func (e *Engine) Exec(sql string) (*Result, error) {
-	return e.ExecWith(sql, ExecOptions{})
+	return e.ExecWithContext(context.Background(), sql, ExecOptions{})
+}
+
+// ExecContext is Exec bounded by ctx: cancellation or deadline expiry stops
+// JITS sampling at the next per-table boundary (compilation degrades to
+// catalog statistics) and execution at the next morsel boundary (the
+// statement returns the context's error).
+func (e *Engine) ExecContext(ctx context.Context, sql string) (*Result, error) {
+	return e.ExecWithContext(ctx, sql, ExecOptions{})
 }
 
 // ExecWith parses and runs one SQL statement with per-query session options.
 func (e *Engine) ExecWith(sql string, opts ExecOptions) (*Result, error) {
+	return e.ExecWithContext(context.Background(), sql, opts)
+}
+
+// ExecWithContext parses and runs one SQL statement with per-query session
+// options under ctx. A statement timeout (ExecOptions.Timeout, falling back
+// to Config.StatementTimeout) is layered onto ctx as a deadline.
+func (e *Engine) ExecWithContext(ctx context.Context, sql string, opts ExecOptions) (*Result, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = e.stmtTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	dop := opts.Parallelism
 	if dop == 0 {
 		dop = e.parallelism
@@ -215,9 +277,9 @@ func (e *Engine) ExecWith(sql string, opts ExecOptions) (*Result, error) {
 	}
 	switch s := stmt.(type) {
 	case *sqlparser.SelectStmt:
-		return e.execSelect(s, sql, false, dop)
+		return e.execSelect(ctx, s, sql, false, dop)
 	case *sqlparser.ExplainStmt:
-		return e.execSelect(s.Select, sql, true, dop)
+		return e.execSelect(ctx, s.Select, sql, true, dop)
 	case *sqlparser.InsertStmt:
 		return e.execInsert(s)
 	case *sqlparser.UpdateStmt:
@@ -231,6 +293,12 @@ func (e *Engine) ExecWith(sql string, opts ExecOptions) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
 	}
+}
+
+// Degradation snapshots the JITS graceful-degradation counters: how many
+// tables fell back to catalog statistics since the engine started, by cause.
+func (e *Engine) Degradation() costmodel.DegradationCounts {
+	return e.jits.DegradationCounts()
 }
 
 // staticSource adapts the precollected workload-statistics archive to the
@@ -256,7 +324,7 @@ func (s *staticSource) ColumnNDV(table, column string) (int64, bool) {
 // compiles — including any JITS statistics collection, whose cost shows up
 // in the metrics — but does not execute: the result carries the plan text
 // as rows, one per line.
-func (e *Engine) execSelect(stmt *sqlparser.SelectStmt, sql string, explainOnly bool, dop int) (*Result, error) {
+func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql string, explainOnly bool, dop int) (*Result, error) {
 	ts := e.tick()
 	var compileMeter, execMeter costmodel.Meter
 
@@ -267,8 +335,11 @@ func (e *Engine) execSelect(stmt *sqlparser.SelectStmt, sql string, explainOnly 
 	q.SQL = sql
 	blk := q.Blocks[0]
 
-	// JITS compile-time statistics collection.
-	qstats, prep, err := e.jits.Prepare(q, e.db, ts, &compileMeter, e.weights)
+	// JITS compile-time statistics collection. Prepare degrades rather than
+	// fails: on budget exhaustion, sampling faults or cancellation it
+	// reports fallback tables and the optimizer below transparently uses
+	// catalog statistics for them.
+	qstats, prep, err := e.jits.Prepare(ctx, q, e.db, ts, &compileMeter, e.weights)
 	if err != nil {
 		return nil, err
 	}
@@ -277,6 +348,9 @@ func (e *Engine) execSelect(stmt *sqlparser.SelectStmt, sql string, explainOnly 
 			e.tracef("q%d jits %s collected=%v s1=%.3f s2=%.3f sample=%d groups=%d materialized=%d",
 				ts, tr.Table, tr.Collected, tr.Scores.S1, tr.Scores.S2,
 				tr.SampleRows, tr.GroupsEvaluated, tr.GroupsMaterialized)
+			if tr.Degraded {
+				e.tracef("q%d jits %s degraded: %s (catalog fallback)", ts, tr.Table, tr.DegradeReason)
+			}
 		}
 	}
 	var source optimizer.StatsSource
@@ -289,7 +363,7 @@ func (e *Engine) execSelect(stmt *sqlparser.SelectStmt, sql string, explainOnly 
 		source = &staticSource{archive: e.reactiveQSS, ts: ts}
 	}
 
-	ctx := &optimizer.Context{
+	octx := &optimizer.Context{
 		Est:     &optimizer.Estimator{Cat: e.cat, QSS: source},
 		Indexes: e.indexes,
 		Weights: e.weights,
@@ -303,7 +377,7 @@ func (e *Engine) execSelect(stmt *sqlparser.SelectStmt, sql string, explainOnly 
 	var subActuals []executor.ScanActual
 	for _, sj := range blk.SemiJoins {
 		inner := q.Blocks[sj.Block]
-		innerPlan, err := optimizer.Optimize(inner, ctx)
+		innerPlan, err := optimizer.Optimize(inner, octx)
 		if err != nil {
 			return nil, err
 		}
@@ -311,7 +385,7 @@ func (e *Engine) execSelect(stmt *sqlparser.SelectStmt, sql string, explainOnly 
 		if explainOnly {
 			continue
 		}
-		rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Parallelism: dop}
+		rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Ctx: ctx, Parallelism: dop}
 		innerRes, err := executor.Execute(inner, innerPlan, rt)
 		if err != nil {
 			return nil, err
@@ -333,7 +407,7 @@ func (e *Engine) execSelect(stmt *sqlparser.SelectStmt, sql string, explainOnly 
 		})
 	}
 
-	plan, err := optimizer.Optimize(blk, ctx)
+	plan, err := optimizer.Optimize(blk, octx)
 	if err != nil {
 		return nil, err
 	}
@@ -359,7 +433,7 @@ func (e *Engine) execSelect(stmt *sqlparser.SelectStmt, sql string, explainOnly 
 		}, nil
 	}
 
-	rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Parallelism: dop}
+	rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Ctx: ctx, Parallelism: dop}
 	res, err := executor.Execute(blk, plan, rt)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,94 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/faultinject"
+	"repro/internal/workload"
+)
+
+// TestCloseRejectsExec: Close is idempotent and flips every Exec variant to
+// ErrClosed.
+func TestCloseRejectsExec(t *testing.T) {
+	e := engine.New(engine.Config{})
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := e.Exec(`SELECT 1 FROM t`); !errors.Is(err, engine.ErrClosed) {
+		t.Fatalf("Exec after Close: %v, want ErrClosed", err)
+	}
+	if _, err := e.ExecContext(context.Background(), `SELECT 1 FROM t`); !errors.Is(err, engine.ErrClosed) {
+		t.Fatalf("ExecContext after Close: %v, want ErrClosed", err)
+	}
+	if _, err := e.ExecWith(`SELECT 1 FROM t`, engine.ExecOptions{}); !errors.Is(err, engine.ErrClosed) {
+		t.Fatalf("ExecWith after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestCancelledParallelQueryLeaksNoGoroutines cancels queries mid-flight —
+// with injected morsel latency so workers are genuinely asleep when the
+// deadline lands — and verifies the worker pools drain completely: the
+// goroutine count settles back to the pre-query level.
+func TestCancelledParallelQueryLeaksNoGoroutines(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+
+	cfg := engine.Config{Parallelism: 8}
+	cfg.JITS.Enabled = true
+	cfg.JITS.SMax = 0.5
+	cfg.JITS.SampleSize = 400
+	cfg.JITS.Seed = 3
+	e := engine.New(cfg)
+	d, err := workload.Load(e, workload.Spec{Scale: 0.002, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := d.Queries(6, 17)
+
+	// Warm up once fault-free so lazy runtime goroutines don't count as leaks.
+	if _, err := e.Exec(stmts[0].SQL); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	if err := faultinject.Arm(faultinject.MorselLatency, faultinject.Spec{Every: 1, Latency: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	cancelled := 0
+	for _, st := range stmts {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Millisecond)
+		if _, err := e.ExecContext(ctx, st.SQL); err != nil {
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("%q: %v, want deadline exceeded", st.SQL, err)
+			}
+			cancelled++
+		}
+		cancel()
+	}
+	faultinject.Reset()
+	if cancelled == 0 {
+		t.Fatal("no query was cancelled — the leak check tested nothing")
+	}
+
+	// Pools drain synchronously before Exec returns, but give the runtime a
+	// few scheduler rounds to retire exiting goroutines before declaring a
+	// leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before cancelled queries, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -13,12 +13,14 @@
 package executor
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 
 	"repro/internal/costmodel"
+	"repro/internal/faultinject"
 	"repro/internal/index"
 	"repro/internal/optimizer"
 	"repro/internal/qgm"
@@ -33,6 +35,10 @@ type Runtime struct {
 	Indexes *index.Set
 	Weights costmodel.Weights
 	Meter   *costmodel.Meter
+	// Ctx carries the statement's deadline/cancellation; nil behaves like
+	// context.Background(). Operators check it at morsel boundaries, so a
+	// cancelled statement stops within one morsel of work per worker.
+	Ctx context.Context
 	// Parallelism is the degree of intra-query parallelism: the number of
 	// workers scans, hash joins and grouped aggregation may fan out to.
 	// Values <= 1 select the serial operators, which reproduce the paper's
@@ -52,6 +58,18 @@ func (rt *Runtime) dop() int {
 		return 1
 	}
 	return rt.Parallelism
+}
+
+// ctx returns the statement context (possibly nil; callers treat nil as
+// background).
+func (rt *Runtime) ctx() context.Context { return rt.Ctx }
+
+// ctxErr reports the statement context's cancellation error, if any.
+func (rt *Runtime) ctxErr() error {
+	if rt.Ctx == nil {
+		return nil
+	}
+	return rt.Ctx.Err()
 }
 
 func (rt *Runtime) morselSize() int {
@@ -117,13 +135,26 @@ type relation struct {
 func (r *relation) col(slot, ordinal int) int { return r.offsets[slot] + ordinal }
 
 // Execute runs the plan and applies the block's finishing operators.
-func Execute(blk *qgm.Block, plan optimizer.Node, rt *Runtime) (*Result, error) {
+//
+// Execute never panics: any panic in an operator — a malformed plan hitting
+// a Datum accessor, a comparator blowing up inside a parallel sort worker,
+// an injected fault — is recovered (the parallel pools drain first, so no
+// goroutine outlives the call) and returned as an error.
+func Execute(blk *qgm.Block, plan optimizer.Node, rt *Runtime) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("executor: recovered panic: %v", p)
+		}
+	}()
+	if cerr := rt.ctxErr(); cerr != nil {
+		return nil, cerr
+	}
 	ex := &executor{blk: blk, rt: rt}
 	rel, err := ex.run(plan)
 	if err != nil {
 		return nil, err
 	}
-	res, err := ex.finish(rel)
+	res, err = ex.finish(rel)
 	if err != nil {
 		return nil, err
 	}
@@ -139,6 +170,9 @@ type executor struct {
 }
 
 func (ex *executor) run(node optimizer.Node) (*relation, error) {
+	if err := ex.rt.ctxErr(); err != nil {
+		return nil, err
+	}
 	switch n := node.(type) {
 	case *optimizer.Scan:
 		return ex.runScan(n)
@@ -170,6 +204,9 @@ func (ex *executor) runScan(n *optimizer.Scan) (*relation, error) {
 	tbl, err := ex.baseTable(n.Table)
 	if err != nil {
 		return nil, err
+	}
+	if err := faultinject.Hit(faultinject.StorageScan); err != nil {
+		return nil, fmt.Errorf("executor: scanning %s: %w", n.Table, err)
 	}
 	w := ex.rt.Weights
 	width := tbl.Schema().NumColumns()
@@ -203,10 +240,23 @@ func (ex *executor) runScan(n *optimizer.Scan) (*relation, error) {
 		}
 		ex.rt.charge(w.IndexRow * examined)
 	} else if ex.rt.dop() > 1 && tbl.RowCount() > ex.rt.morselSize() {
-		rel.rows, examined = ex.parallelSeqScan(tbl, n.Preds)
+		rows, exam, err := ex.parallelSeqScan(tbl, n.Preds)
+		if err != nil {
+			return nil, err
+		}
+		rel.rows, examined = rows, exam
 		ex.rt.charge(w.SeqRow * examined)
 	} else {
+		// Serial scan: honor cancellation every morselSize rows, the same
+		// granularity the parallel path checks at.
+		checkEvery := ex.rt.morselSize()
+		var scanErr error
 		tbl.Scan(func(_ int, row []value.Datum) bool {
+			if int(examined)%checkEvery == 0 {
+				if scanErr = ex.rt.ctxErr(); scanErr != nil {
+					return false
+				}
+			}
 			examined++
 			if matchesAll(n.Preds, row) {
 				rel.rows = append(rel.rows, append([]value.Datum(nil), row...))
@@ -214,6 +264,9 @@ func (ex *executor) runScan(n *optimizer.Scan) (*relation, error) {
 			return true
 		})
 		ex.rt.charge(w.SeqRow * examined)
+		if scanErr != nil {
+			return nil, scanErr
+		}
 	}
 	ex.rt.charge(w.RowOut * float64(len(rel.rows)))
 
@@ -324,7 +377,9 @@ func (ex *executor) runHashJoin(n *optimizer.Join) (*relation, error) {
 	}
 
 	if ex.rt.dop() > 1 && len(left.rows)+len(right.rows) > ex.rt.morselSize() {
-		ex.parallelHashJoin(left, right, rel, lCols, rCols)
+		if err := ex.parallelHashJoin(left, right, rel, lCols, rCols); err != nil {
+			return nil, err
+		}
 		ex.rt.charge(w.HashBuild * float64(len(left.rows)))
 		ex.rt.charge(w.HashProbe * float64(len(right.rows)))
 		ex.rt.charge(w.RowOut * float64(len(rel.rows)))
@@ -781,7 +836,11 @@ func (ex *executor) aggregate(rel *relation) (*Result, error) {
 	nAgg := len(blk.Projections)
 	var ga *groupAccumulator
 	if ex.rt.dop() > 1 && len(rel.rows) > ex.rt.morselSize() {
-		ga = ex.parallelAggregate(rel)
+		var err error
+		ga, err = ex.parallelAggregate(rel)
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		ga = newGroupAccumulator(blk, rel)
 		for _, row := range rel.rows {

@@ -11,10 +11,13 @@
 package executor
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/index"
 	"repro/internal/optimizer"
 	"repro/internal/qgm"
@@ -31,14 +34,32 @@ const DefaultMorselSize = 512
 // runMorsels partitions [0, n) into morsels of the given size and runs
 // fn(morsel, lo, hi) across up to dop workers. Workers claim morsels from a
 // shared atomic cursor, so a worker stuck on a slow morsel never stalls the
-// rest. fn must only touch state owned by its morsel index; runMorsels
-// returns once every morsel is done.
-func runMorsels(n, dop, morselSize int, fn func(m, lo, hi int)) {
+// rest. fn must only touch state owned by its morsel index.
+//
+// Cancellation is checked at every morsel boundary: once ctx is done (or
+// any fn returns an error, or a worker panics — injected or real — which is
+// recovered into an error), remaining workers stop claiming morsels, the
+// pool drains, and the first error is returned after every worker has
+// exited. runMorsels never leaks a goroutine and never lets a worker panic
+// escape.
+func runMorsels(ctx context.Context, n, dop, morselSize int, fn func(m, lo, hi int) error) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if morselSize <= 0 {
 		morselSize = DefaultMorselSize
+	}
+	run := func(m, lo, hi int) (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("executor: worker panic: %v", p)
+			}
+		}()
+		faultinject.SleepIf(faultinject.MorselLatency)
+		if fault := faultinject.Hit(faultinject.WorkerPanic); fault != nil {
+			panic(fault)
+		}
+		return fn(m, lo, hi)
 	}
 	morsels := (n + morselSize - 1) / morselSize
 	if dop > morsels {
@@ -46,30 +67,56 @@ func runMorsels(n, dop, morselSize int, fn func(m, lo, hi int)) {
 	}
 	if dop <= 1 {
 		for m := 0; m < morsels; m++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			lo := m * morselSize
 			hi := min(lo+morselSize, n)
-			fn(m, lo, hi)
+			if err := run(m, lo, hi); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		cursor   atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
 	for w := 0; w < dop; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for !stop.Load() {
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						fail(err)
+						return
+					}
+				}
 				m := int(cursor.Add(1)) - 1
 				if m >= morsels {
 					return
 				}
 				lo := m * morselSize
 				hi := min(lo+morselSize, n)
-				fn(m, lo, hi)
+				if err := run(m, lo, hi); err != nil {
+					fail(err)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	return firstErr
 }
 
 // morselCount returns how many morsels [0, n) splits into.
@@ -95,12 +142,17 @@ func concatBuckets(buckets [][][]value.Datum) [][]value.Datum {
 
 // parallelSeqScan scans the table in morsels across the worker pool,
 // returning the filtered rows in storage order plus the examined row count.
-func (ex *executor) parallelSeqScan(tbl *storage.Table, preds []qgm.Predicate) ([][]value.Datum, float64) {
+// Each morsel probes the storage.scan fault point, so an injected page-read
+// error surfaces from any worker and drains the pool.
+func (ex *executor) parallelSeqScan(tbl *storage.Table, preds []qgm.Predicate) ([][]value.Datum, float64, error) {
 	sz := ex.rt.morselSize()
 	n := tbl.RowCount()
 	buckets := make([][][]value.Datum, morselCount(n, sz))
 	var examined atomic.Int64
-	runMorsels(n, ex.rt.dop(), sz, func(m, lo, hi int) {
+	err := runMorsels(ex.rt.ctx(), n, ex.rt.dop(), sz, func(m, lo, hi int) error {
+		if err := faultinject.Hit(faultinject.StorageScan); err != nil {
+			return err
+		}
 		var out [][]value.Datum
 		cnt := 0
 		tbl.ScanRange(lo, hi, func(_ int, row []value.Datum) bool {
@@ -112,8 +164,12 @@ func (ex *executor) parallelSeqScan(tbl *storage.Table, preds []qgm.Predicate) (
 		})
 		buckets[m] = out
 		examined.Add(int64(cnt))
+		return nil
 	})
-	return concatBuckets(buckets), float64(examined.Load())
+	if err != nil {
+		return nil, float64(examined.Load()), err
+	}
+	return concatBuckets(buckets), float64(examined.Load()), nil
 }
 
 // fnv1a hashes a join key to a build partition.
@@ -133,7 +189,7 @@ func fnv1a(s string) uint32 {
 // partition worker walks the left side in order. Probe: right-side morsels
 // look keys up in the (now read-only) partition maps and buffer matches per
 // morsel, so the concatenated output order equals the serial operator's.
-func (ex *executor) parallelHashJoin(left, right, rel *relation, lCols, rCols []int) {
+func (ex *executor) parallelHashJoin(left, right, rel *relation, lCols, rCols []int) error {
 	dop := ex.rt.dop()
 	sz := ex.rt.morselSize()
 	nL := len(left.rows)
@@ -141,7 +197,7 @@ func (ex *executor) parallelHashJoin(left, right, rel *relation, lCols, rCols []
 	lKeys := make([]string, nL)
 	lPart := make([]uint32, nL)
 	const noPart = ^uint32(0) // NULL key: joins nothing
-	runMorsels(nL, dop, sz, func(_, lo, hi int) {
+	if err := runMorsels(ex.rt.ctx(), nL, dop, sz, func(_, lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			if key, ok := joinKey(left.rows[i], lCols); ok {
 				lKeys[i] = key
@@ -150,14 +206,23 @@ func (ex *executor) parallelHashJoin(left, right, rel *relation, lCols, rCols []
 				lPart[i] = noPart
 			}
 		}
-	})
+		return nil
+	}); err != nil {
+		return err
+	}
 
 	parts := make([]map[string][]int, dop)
 	var wg sync.WaitGroup
+	var partPanic atomic.Value
 	for p := 0; p < dop; p++ {
 		wg.Add(1)
 		go func(p uint32) {
 			defer wg.Done()
+			defer func() {
+				if pv := recover(); pv != nil {
+					partPanic.CompareAndSwap(nil, fmt.Errorf("executor: worker panic: %v", pv))
+				}
+			}()
 			tbl := make(map[string][]int)
 			for i := 0; i < nL; i++ {
 				if lPart[i] == p {
@@ -168,10 +233,13 @@ func (ex *executor) parallelHashJoin(left, right, rel *relation, lCols, rCols []
 		}(uint32(p))
 	}
 	wg.Wait()
+	if err, ok := partPanic.Load().(error); ok {
+		return err
+	}
 
 	nR := len(right.rows)
 	buckets := make([][][]value.Datum, morselCount(nR, sz))
-	runMorsels(nR, dop, sz, func(m, lo, hi int) {
+	if err := runMorsels(ex.rt.ctx(), nR, dop, sz, func(m, lo, hi int) error {
 		var out [][]value.Datum
 		for ri := lo; ri < hi; ri++ {
 			rrow := right.rows[ri]
@@ -184,14 +252,22 @@ func (ex *executor) parallelHashJoin(left, right, rel *relation, lCols, rCols []
 			}
 		}
 		buckets[m] = out
-	})
+		return nil
+	}); err != nil {
+		return err
+	}
 	rel.rows = concatBuckets(buckets)
+	return nil
 }
 
 // parallelStableSort sorts rows in place with a parallel stable merge
 // sort: dop contiguous chunks are stable-sorted concurrently, then merged
 // pairwise (ties take the earlier chunk first, preserving stability). The
 // result is the unique stable order, byte-identical to sort.SliceStable.
+//
+// A panic in the comparator (malformed plan) is captured in whichever
+// worker it strikes and re-raised on the caller's goroutine after the pool
+// has drained; Execute's top-level recover converts it into an error.
 func parallelStableSort(rows [][]value.Datum, dop int, less func(a, b []value.Datum) bool) {
 	n := len(rows)
 	if dop > n/1024+1 {
@@ -200,6 +276,15 @@ func parallelStableSort(rows [][]value.Datum, dop int, less func(a, b []value.Da
 	if dop <= 1 || n < 2 {
 		sort.SliceStable(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
 		return
+	}
+	var (
+		panicOnce sync.Once
+		panicVal  any
+	)
+	capturePanic := func() {
+		if p := recover(); p != nil {
+			panicOnce.Do(func() { panicVal = p })
+		}
 	}
 	bounds := make([]int, dop+1)
 	for i := range bounds {
@@ -210,11 +295,15 @@ func parallelStableSort(rows [][]value.Datum, dop int, less func(a, b []value.Da
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer capturePanic()
 			s := rows[lo:hi]
 			sort.SliceStable(s, func(i, j int) bool { return less(s[i], s[j]) })
 		}(bounds[c], bounds[c+1])
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 
 	src, dst := rows, make([][]value.Datum, n)
 	inRows := true
@@ -225,6 +314,7 @@ func parallelStableSort(rows [][]value.Datum, dop int, less func(a, b []value.Da
 			mg.Add(1)
 			go func(lo, mid, hi int) {
 				defer mg.Done()
+				defer capturePanic()
 				mergeRuns(dst, src, lo, mid, hi, less)
 			}(bounds[i], bounds[i+1], bounds[i+2])
 			newBounds = append(newBounds, bounds[i+2])
@@ -235,6 +325,9 @@ func parallelStableSort(rows [][]value.Datum, dop int, less func(a, b []value.Da
 			newBounds = append(newBounds, hi)
 		}
 		mg.Wait()
+		if panicVal != nil {
+			panic(panicVal)
+		}
 		src, dst = dst, src
 		inRows = !inRows
 		bounds = newBounds
@@ -269,10 +362,8 @@ func (ex *executor) parallelIndexNLProbe(left *relation, inner *optimizer.Scan, 
 	n := len(left.rows)
 	buckets := make([][][]value.Datum, morselCount(n, sz))
 	var examined, matched atomic.Int64
-	var errOnce sync.Once
-	var firstErr error
 	keyCol := left.col(driving.LeftSlot, driving.LeftOrd)
-	runMorsels(n, ex.rt.dop(), sz, func(m, lo, hi int) {
+	err := runMorsels(ex.rt.ctx(), n, ex.rt.dop(), sz, func(m, lo, hi int) error {
 		var out [][]value.Datum
 		exam, match := 0, 0
 		for _, lrow := range left.rows[lo:hi] {
@@ -283,8 +374,7 @@ func (ex *executor) parallelIndexNLProbe(left *relation, inner *optimizer.Scan, 
 			for _, pos := range ix.Lookup(key) {
 				irow, err := tbl.Row(pos)
 				if err != nil {
-					errOnce.Do(func() { firstErr = err })
-					return
+					return err
 				}
 				exam++
 				if !matchesAll(inner.Preds, irow) {
@@ -311,9 +401,10 @@ func (ex *executor) parallelIndexNLProbe(left *relation, inner *optimizer.Scan, 
 		buckets[m] = out
 		examined.Add(int64(exam))
 		matched.Add(int64(match))
+		return nil
 	})
-	if firstErr != nil {
-		return nil, 0, 0, firstErr
+	if err != nil {
+		return nil, 0, 0, err
 	}
 	return concatBuckets(buckets), float64(examined.Load()), float64(matched.Load()), nil
 }
@@ -322,20 +413,24 @@ func (ex *executor) parallelIndexNLProbe(left *relation, inner *optimizer.Scan, 
 // in morsel order, reproducing the serial accumulator's first-appearance
 // group order and (integer) aggregate values exactly; float SUM/AVG may
 // differ by rounding since partial sums associate differently.
-func (ex *executor) parallelAggregate(rel *relation) *groupAccumulator {
+func (ex *executor) parallelAggregate(rel *relation) (*groupAccumulator, error) {
 	sz := ex.rt.morselSize()
 	n := len(rel.rows)
 	partials := make([]*groupAccumulator, morselCount(n, sz))
-	runMorsels(n, ex.rt.dop(), sz, func(m, lo, hi int) {
+	err := runMorsels(ex.rt.ctx(), n, ex.rt.dop(), sz, func(m, lo, hi int) error {
 		ga := newGroupAccumulator(ex.blk, rel)
 		for _, row := range rel.rows[lo:hi] {
 			ga.absorbRow(row)
 		}
 		partials[m] = ga
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := partials[0]
 	for _, p := range partials[1:] {
 		out.mergeFrom(p)
 	}
-	return out
+	return out, nil
 }

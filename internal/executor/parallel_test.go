@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -151,13 +152,16 @@ func TestRunMorselsCoversAllRows(t *testing.T) {
 		for _, dop := range []int{1, 2, 7, 32} {
 			var mu sync.Mutex
 			seen := make([]int, n)
-			runMorsels(n, dop, 16, func(m, lo, hi int) {
+			if err := runMorsels(context.Background(), n, dop, 16, func(m, lo, hi int) error {
 				mu.Lock()
 				defer mu.Unlock()
 				for i := lo; i < hi; i++ {
 					seen[i]++
 				}
-			})
+				return nil
+			}); err != nil {
+				t.Fatalf("n=%d dop=%d: %v", n, dop, err)
+			}
 			for i, c := range seen {
 				if c != 1 {
 					t.Fatalf("n=%d dop=%d: index %d visited %d times", n, dop, i, c)

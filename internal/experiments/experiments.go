@@ -194,6 +194,10 @@ type QueryTiming struct {
 	Compile float64
 	Exec    float64
 	Total   float64
+	// Degraded counts the JITS tables that fell back to catalog statistics
+	// while compiling this query (sampling budget/fault/cancellation); 0 in
+	// non-JITS settings and on healthy runs.
+	Degraded int
 }
 
 // RunWorkload executes the §4.2 workload (queries + interleaved updates)
@@ -233,11 +237,16 @@ func RunWorkload(setting Setting, opts Options) ([]QueryTiming, error) {
 			return nil, fmt.Errorf("experiments: %s setting, statement %q: %w", setting, s.SQL, err)
 		}
 		if s.IsQuery {
+			deg := 0
+			if res.Prepare != nil {
+				deg = res.Prepare.DegradedTables()
+			}
 			out = append(out, QueryTiming{
-				Index:   qi,
-				Compile: res.Metrics.CompileSeconds,
-				Exec:    res.Metrics.ExecSeconds,
-				Total:   res.Metrics.TotalSeconds,
+				Index:    qi,
+				Compile:  res.Metrics.CompileSeconds,
+				Exec:     res.Metrics.ExecSeconds,
+				Total:    res.Metrics.TotalSeconds,
+				Degraded: deg,
 			})
 			qi++
 		}
@@ -380,6 +389,9 @@ type OLTPResult struct {
 	AvgCompile float64
 	AvgExec    float64
 	AvgTotal   float64
+	// DegradedTables totals catalog fallbacks across the stream (0 unless
+	// sampling was starved or faulted).
+	DegradedTables int
 }
 
 // OLTP runs an indexed point-lookup stream under three modes — JITS
@@ -409,6 +421,7 @@ func OLTP(opts Options) ([]OLTPResult, error) {
 		}
 		stmts := d.OLTPQueries(opts.Queries, opts.Seed+1)
 		var c, x float64
+		deg := 0
 		for _, s := range stmts {
 			res, err := e.Exec(s.SQL)
 			if err != nil {
@@ -416,10 +429,14 @@ func OLTP(opts Options) ([]OLTPResult, error) {
 			}
 			c += res.Metrics.CompileSeconds
 			x += res.Metrics.ExecSeconds
+			if res.Prepare != nil {
+				deg += res.Prepare.DegradedTables()
+			}
 		}
 		n := float64(len(stmts))
 		out = append(out, OLTPResult{
 			Mode: mode.name, AvgCompile: c / n, AvgExec: x / n, AvgTotal: (c + x) / n,
+			DegradedTables: deg,
 		})
 	}
 	return out, nil

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"repro/internal/faultinject"
+
 	"testing"
 )
 
@@ -211,5 +213,44 @@ func TestOLTPShape(t *testing.T) {
 	// forced collection.
 	if !(sensit.AvgCompile < forced.AvgCompile/2) {
 		t.Errorf("sensitivity compile %v should be well below forced %v", sensit.AvgCompile, forced.AvgCompile)
+	}
+}
+
+// TestWorkloadDegradationColumn: with sampling faults armed the JITS
+// setting keeps producing timings for the full stream (graceful
+// degradation), and the per-query Degraded column records the fallbacks.
+func TestWorkloadDegradationColumn(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	if err := faultinject.Arm(faultinject.SamplingRows, faultinject.Spec{Every: 2}); err != nil {
+		t.Fatal(err)
+	}
+	opts := QuickOptions()
+	opts.Queries = 30
+	timings, err := RunWorkload(SettingJITS, opts)
+	if err != nil {
+		t.Fatalf("workload must survive sampling faults: %v", err)
+	}
+	if len(timings) != opts.Queries {
+		t.Fatalf("timings = %d, want %d", len(timings), opts.Queries)
+	}
+	degraded := 0
+	for _, qt := range timings {
+		degraded += qt.Degraded
+	}
+	if degraded == 0 {
+		t.Fatal("no query reported degraded tables although sampling faults fired")
+	}
+	faultinject.Reset()
+
+	// Fault-free, the column stays zero.
+	clean, err := RunWorkload(SettingJITS, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qt := range clean {
+		if qt.Degraded != 0 {
+			t.Fatalf("query %d degraded=%d on a fault-free run", qt.Index, qt.Degraded)
+		}
 	}
 }

@@ -143,14 +143,15 @@ func TestCompareOpToPredOpAll(t *testing.T) {
 		sqlparser.OpGT: OpGT, sqlparser.OpGE: OpGE,
 	}
 	for in, want := range pairs {
-		if got := compareOpToPredOp(in); got != want {
+		got, err := compareOpToPredOp(in)
+		if err != nil {
+			t.Errorf("compareOpToPredOp(%v): %v", in, err)
+		}
+		if got != want {
 			t.Errorf("compareOpToPredOp(%v) = %v, want %v", in, got, want)
 		}
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("unknown operator must panic")
-		}
-	}()
-	compareOpToPredOp(sqlparser.CompareOp(99))
+	if _, err := compareOpToPredOp(sqlparser.CompareOp(99)); err == nil {
+		t.Error("unknown operator must return an error, not a zero op")
+	}
 }

@@ -333,9 +333,13 @@ func buildBlock(sel *sqlparser.SelectStmt, resolver SchemaResolver, q *Query, de
 			if err != nil {
 				return nil, err
 			}
+			pop, err := compareOpToPredOp(x.Op)
+			if err != nil {
+				return nil, err
+			}
 			p := Predicate{
 				Slot: s, Column: blk.Tables[s].Schema.Column(o).Name, Ordinal: o,
-				Op: compareOpToPredOp(x.Op), Value: x.RightVal,
+				Op: pop, Value: x.RightVal,
 			}
 			addLocal(blk, seen, p)
 
@@ -460,22 +464,24 @@ func buildBlock(sel *sqlparser.SelectStmt, resolver SchemaResolver, q *Query, de
 }
 
 // compareOpToPredOp maps parser comparison operators onto predicate ops.
-func compareOpToPredOp(op sqlparser.CompareOp) PredOp {
+// An unknown operator (a parser extension QGM does not handle yet) is a
+// compile error surfaced to the statement, never a crash.
+func compareOpToPredOp(op sqlparser.CompareOp) (PredOp, error) {
 	switch op {
 	case sqlparser.OpEQ:
-		return OpEQ
+		return OpEQ, nil
 	case sqlparser.OpNE:
-		return OpNE
+		return OpNE, nil
 	case sqlparser.OpLT:
-		return OpLT
+		return OpLT, nil
 	case sqlparser.OpLE:
-		return OpLE
+		return OpLE, nil
 	case sqlparser.OpGT:
-		return OpGT
+		return OpGT, nil
 	case sqlparser.OpGE:
-		return OpGE
+		return OpGE, nil
 	default:
-		panic(fmt.Sprintf("qgm: unknown comparison operator %v", op))
+		return 0, fmt.Errorf("qgm: unknown comparison operator %v", op)
 	}
 }
 
@@ -529,9 +535,13 @@ func BuildLocalPredicates(schema *storage.Schema, exprs []sqlparser.Expr) ([]Pre
 			if err != nil {
 				return nil, err
 			}
+			pop, err := compareOpToPredOp(x.Op)
+			if err != nil {
+				return nil, err
+			}
 			out = append(out, Predicate{
 				Column: schema.Column(o).Name, Ordinal: o,
-				Op: compareOpToPredOp(x.Op), Value: x.RightVal,
+				Op: pop, Value: x.RightVal,
 			})
 		case *sqlparser.Between:
 			o, err := resolve(x.Col)

@@ -12,11 +12,13 @@
 package sampling
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/costmodel"
+	"repro/internal/faultinject"
 	"repro/internal/qgm"
 	"repro/internal/storage"
 	"repro/internal/value"
@@ -29,9 +31,21 @@ const evalMorselSize = 512
 // forEachChunk runs fn over [0, n) in fixed-size chunks across up to dop
 // workers, claiming chunks from an atomic cursor. fn must only write state
 // owned by its chunk. Serial (and deterministic in call order) at dop <= 1.
+//
+// A panic inside fn (or an injected worker panic) stops the remaining
+// workers, is re-raised on the caller's goroutine after every worker has
+// exited, and never leaks a goroutine; JITS.Prepare recovers it into a
+// degraded, catalog-fallback preparation.
 func forEachChunk(n, dop, chunkSize int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
+	}
+	run := func(lo, hi int) {
+		faultinject.SleepIf(faultinject.MorselLatency)
+		if err := faultinject.Hit(faultinject.WorkerPanic); err != nil {
+			panic(err)
+		}
+		fn(lo, hi)
 	}
 	chunks := (n + chunkSize - 1) / chunkSize
 	if dop > chunks {
@@ -43,17 +57,28 @@ func forEachChunk(n, dop, chunkSize int, fn func(lo, hi int)) {
 			if hi > n {
 				hi = n
 			}
-			fn(c*chunkSize, hi)
+			run(c*chunkSize, hi)
 		}
 		return
 	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		cursor    atomic.Int64
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicVal  any
+	)
 	for w := 0; w < dop; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			defer func() {
+				if p := recover(); p != nil {
+					panicOnce.Do(func() { panicVal = p })
+					stop.Store(true)
+				}
+			}()
+			for !stop.Load() {
 				c := int(cursor.Add(1)) - 1
 				if c >= chunks {
 					return
@@ -62,11 +87,14 @@ func forEachChunk(n, dop, chunkSize int, fn func(lo, hi int)) {
 				if hi > n {
 					hi = n
 				}
-				fn(c*chunkSize, hi)
+				run(c*chunkSize, hi)
 			}
 		}()
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }
 
 // Sampler draws deterministic pseudo-random samples; a fixed seed makes
@@ -88,6 +116,23 @@ func New(seed int64) *Sampler {
 // cost is independent of table size.
 func (s *Sampler) Rows(tbl *storage.Table, size int, meter *costmodel.Meter, w costmodel.Weights) [][]value.Datum {
 	return s.RowsParallel(tbl, size, meter, w, 1)
+}
+
+// Sample is the fault-aware sampling entry point JITS uses: it honors
+// cancellation and the sampling.rows fault point before touching the table,
+// then draws exactly what RowsParallel draws. A returned error means no
+// sample (and no RNG consumption), so the caller can degrade to catalog
+// statistics without perturbing later draws.
+func (s *Sampler) Sample(ctx context.Context, tbl *storage.Table, size int, meter *costmodel.Meter, w costmodel.Weights, dop int) ([][]value.Datum, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if err := faultinject.Hit(faultinject.SamplingRows); err != nil {
+		return nil, err
+	}
+	return s.RowsParallel(tbl, size, meter, w, dop), nil
 }
 
 // RowsParallel is Rows with the row fetches fanned out across up to dop

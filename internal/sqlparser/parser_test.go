@@ -344,6 +344,15 @@ func FuzzParseNeverPanics(f *testing.F) {
 		`DELETE FROM t WHERE a IN (1,2,3)`,
 		`CREATE TABLE t (a INT)`,
 		`((((`, `'''`, `SELECT -- `,
+		// Malformed shapes mirrored in testdata/fuzz seed files: the chaos
+		// PR's regression corpus for parser crash bugs.
+		`SELECT a FROM t WHERE b = 'unterminated`,
+		`SELECT a FROM t WHERE`,
+		`DELETE FROM t WHERE a IN ()`,
+		`SELECT a FROM t WHERE b BETWEEN 1 2`,
+		`SELECT a FROM t LIMIT banana`,
+		`UPDATE t SET a = 1 WHERE b >`,
+		"SELECT \x00 FROM t",
 	}
 	for _, s := range seeds {
 		f.Add(s)

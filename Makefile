@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench fuzz chaos check
+.PHONY: all build test race vet bench bench-smoke fuzz chaos check
 
 all: build
 
@@ -21,6 +21,13 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Telemetry must be free when nobody is looking: the disabled-path
+# benchmarks for the metrics registry and the phase tracer next to the bare
+# atomic-load baseline, all with -benchmem so an unexpected allocation on
+# the disabled path fails review at a glance. CI runs this target.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Disabled|AtomicLoadBaseline|NilTracer' -benchmem ./internal/metrics/ ./internal/tracing/
 
 # Short live run of the serial-vs-parallel differential fuzzer; the seed
 # corpus alone is replayed by every plain `make test`.

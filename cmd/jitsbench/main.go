@@ -6,6 +6,7 @@
 //	jitsbench [-exp all|table2|table3|fig3|fig4|fig5|fig6|oltp|parallel]
 //	          [-scale 0.01] [-queries 840] [-seed 42] [-smax 0.5]
 //	          [-sample 2000] [-csv dir] [-pergroup] [-parallelism 1]
+//	          [-trace file|-] [-metrics]
 //
 // -csv writes every figure's data as CSV files for plotting; -pergroup
 // charges collection per candidate group (the paper prototype's cost
@@ -17,12 +18,21 @@
 // executor charges the same work regardless of worker count), so the paper
 // tables are reproducible with parallelism on; only wall clock changes. The
 // "parallel" experiment measures that wall-clock speedup explicitly.
+//
+// -trace streams every engine's phase spans and optimizer decision lines
+// (parse → jits.prepare/jits.sample → optimize → execute → feedback →
+// archive.merge) to a file, or to stderr with "-". -metrics enables the
+// process-wide metrics registry and prints its Prometheus-style text
+// exposition after the experiments finish. Both are off by default and cost
+// one atomic load per probe when off.
 package main
 
 import (
+	"bufio"
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -31,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -44,6 +55,8 @@ func main() {
 		perGroup = flag.Bool("pergroup", false, "charge sampling per candidate group (the paper prototype's cost profile)")
 		csvDirF  = flag.String("csv", "", "directory to also write figure data as CSV (created if missing)")
 		par      = flag.Int("parallelism", 1, "intra-query degree of parallelism (1 = serial operators)")
+		traceF   = flag.String("trace", "", `write phase-trace spans to this file ("-" for stderr)`)
+		metricsF = flag.Bool("metrics", false, "enable the metrics registry and print its exposition on exit")
 	)
 	flag.Parse()
 	csvDir = *csvDirF
@@ -54,9 +67,36 @@ func main() {
 		}
 	}
 
+	var traceW io.Writer
+	if *traceF != "" {
+		if *traceF == "-" {
+			traceW = os.Stderr
+		} else {
+			f, err := os.Create(*traceF)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jitsbench: trace:", err)
+				os.Exit(1)
+			}
+			bw := bufio.NewWriter(f)
+			traceW = bw
+			defer func() {
+				_ = bw.Flush()
+				_ = f.Close()
+			}()
+		}
+	}
+	if *metricsF {
+		metrics.Enable()
+		defer func() {
+			fmt.Println("Metrics exposition")
+			fmt.Println("==================")
+			_ = metrics.WriteText(os.Stdout)
+		}()
+	}
+
 	opts := experiments.Options{
 		Scale: *scale, Queries: *queries, Seed: *seed, SMax: *smax, SampleSize: *sample,
-		PerGroupSampling: *perGroup, Parallelism: *par,
+		PerGroupSampling: *perGroup, Parallelism: *par, Trace: traceW,
 	}
 	fmt.Printf("jitsbench: scale=%g queries=%d seed=%d smax=%g sample=%d pergroup=%v parallelism=%d\n\n",
 		opts.Scale, opts.Queries, opts.Seed, opts.SMax, opts.SampleSize, opts.PerGroupSampling, opts.Parallelism)

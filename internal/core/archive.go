@@ -230,6 +230,7 @@ func (a *Archive) GroupSelectivity(table string, preds []qgm.Predicate, ts int64
 
 	if m, ok := a.memo[pk]; ok {
 		m.lastUsed = ts
+		mArchiveHits.Inc()
 		return m.sel, pk, true
 	}
 
@@ -247,20 +248,25 @@ func (a *Archive) GroupSelectivity(table string, preds []qgm.Predicate, ts int64
 		}
 	}
 	if best == nil {
+		mArchiveMisses.Inc()
 		return 0, "", false
 	}
 	box, ok := boxForPreds(best.cols, preds, best.units)
 	if !ok {
+		mArchiveMisses.Inc()
 		return 0, "", false
 	}
 	if !best.canAnswer(preds) {
+		mArchiveMisses.Inc()
 		return 0, "", false
 	}
 	sel, err := best.hist.EstimateBox(box)
 	if err != nil {
+		mArchiveMisses.Inc()
 		return 0, "", false
 	}
 	best.hist.Touch(ts)
+	mArchiveHits.Inc()
 	return sel, bestKey, true
 }
 

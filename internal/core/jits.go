@@ -12,8 +12,10 @@ import (
 	"repro/internal/feedback"
 	"repro/internal/index"
 	"repro/internal/qgm"
+	"repro/internal/metrics"
 	"repro/internal/sampling"
 	"repro/internal/storage"
+	"repro/internal/tracing"
 	"repro/internal/value"
 )
 
@@ -112,6 +114,7 @@ type JITS struct {
 	sampler *sampling.Sampler
 	indexes *index.Set // bound by the engine; used by StrategyCN plan probes
 	degrade costmodel.Degradation
+	tracer  *tracing.Tracer // bound by the engine; nil-safe when unbound
 }
 
 // New builds a JITS coordinator sharing the engine's catalog and feedback
@@ -126,6 +129,10 @@ func New(cfg Config, history *feedback.History, cat *catalog.Catalog) *JITS {
 		sampler: sampling.New(cfg.Seed),
 	}
 }
+
+// BindTracer attaches the engine's phase tracer; per-table sampling spans
+// (tracing.PhaseSample) emit through it. A nil tracer disables the spans.
+func (j *JITS) BindTracer(t *tracing.Tracer) { j.tracer = t }
 
 // DegradationCounts snapshots the cumulative graceful-degradation counters:
 // how many tables fell back to catalog statistics, by cause.
@@ -327,13 +334,14 @@ func (j *JITS) Prepare(ctx context.Context, q *qgm.Query, db *storage.Database, 
 	startUnits := meter.Units()
 	rowsUsed := 0
 
-	degrade := func(tr *TableReport, reason string, record func()) {
+	degrade := func(tr *TableReport, reason string, record func(), cause *metrics.Counter) {
 		tr.Collected = false
 		tr.Degraded = true
 		tr.DegradeReason = reason
 		report.Degraded = true
 		report.FallbackTables = append(report.FallbackTables, tr.Table)
 		record()
+		cause.Inc()
 	}
 
 	for _, name := range order {
@@ -362,27 +370,32 @@ func (j *JITS) Prepare(ctx context.Context, q *qgm.Query, db *storage.Database, 
 		if collect {
 			switch {
 			case ctx.Err() != nil:
-				degrade(&tr, fmt.Sprintf("cancelled: %v", ctx.Err()), j.degrade.RecordCancellation)
+				degrade(&tr, fmt.Sprintf("cancelled: %v", ctx.Err()), j.degrade.RecordCancellation, mDegradeCancelled)
 			case j.cfg.SampleBudgetUnits > 0 && meter.Units()-startUnits >= j.cfg.SampleBudgetUnits:
-				degrade(&tr, "cost budget exhausted", j.degrade.RecordBudgetExhausted)
+				degrade(&tr, "cost budget exhausted", j.degrade.RecordBudgetExhausted, mDegradeBudget)
 			case j.cfg.SampleBudgetRows > 0 && rowsUsed >= j.cfg.SampleBudgetRows:
-				degrade(&tr, "sample-row budget exhausted", j.degrade.RecordBudgetExhausted)
+				degrade(&tr, "sample-row budget exhausted", j.degrade.RecordBudgetExhausted, mDegradeBudget)
 			default:
 				size := j.cfg.SampleSize
 				if j.cfg.SampleBudgetRows > 0 && rowsUsed+size > j.cfg.SampleBudgetRows {
 					size = j.cfg.SampleBudgetRows - rowsUsed
 				}
-				if err := j.collectTable(ctx, tbl, name, tw.groups, size, qs, &tr, sens, ts, meter, w); err != nil {
+				span := j.tracer.Start(ts, tracing.PhaseSample)
+				err := j.collectTable(ctx, tbl, name, tw.groups, size, qs, &tr, sens, ts, meter, w)
+				span.Attr("table", name).Attr("rows", tr.SampleRows).Attr("groups", len(tw.groups)).End()
+				if err != nil {
 					switch {
 					case ctx.Err() != nil:
-						degrade(&tr, fmt.Sprintf("cancelled: %v", err), j.degrade.RecordCancellation)
+						degrade(&tr, fmt.Sprintf("cancelled: %v", err), j.degrade.RecordCancellation, mDegradeCancelled)
 					case isRecoveredPanic(err):
-						degrade(&tr, err.Error(), j.degrade.RecordPanic)
+						degrade(&tr, err.Error(), j.degrade.RecordPanic, mDegradePanic)
 					default:
-						degrade(&tr, fmt.Sprintf("sampling error: %v", err), j.degrade.RecordSamplingError)
+						degrade(&tr, fmt.Sprintf("sampling error: %v", err), j.degrade.RecordSamplingError, mDegradeSampling)
 					}
 				} else {
 					rowsUsed += tr.SampleRows
+					mSampleRows.Add(float64(tr.SampleRows))
+					mTablesCollected.Inc()
 					// Collection succeeded: the UDI activity the sample
 					// reflects has been absorbed into fresh statistics.
 					tbl.ResetUDI()
@@ -517,6 +530,7 @@ func (j *JITS) Feedback(obs []Observation) {
 			continue
 		}
 		ef := feedback.ErrorFactor(o.EstSel, o.ActualSel, o.BaseCard)
+		mErrorFactor.Observe(ef)
 		j.history.Record(o.Table, o.ColGrp, o.StatList, ef)
 	}
 }

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"repro/internal/metrics"
+)
+
+// JITS instruments on the process-wide default registry, resolved once at
+// package init. The degradation causes mirror costmodel.Degradation's
+// counters so the text exposition and DegradationCounts always agree.
+var (
+	mSampleRows = metrics.Default().Counter(
+		"jits_sample_rows_total",
+		"Rows drawn by JITS compile-time sampling.")
+	mTablesCollected = metrics.Default().Counter(
+		"jits_tables_collected_total",
+		"Tables successfully sampled by JITS Prepare.")
+	mDegradation = metrics.Default().CounterVec(
+		"jits_degradation_total",
+		"Tables that fell back to catalog statistics, by cause.",
+		"cause")
+	mDegradeCancelled = mDegradation.With("cancelled")
+	mDegradeBudget    = mDegradation.With("budget_exhausted")
+	mDegradeSampling  = mDegradation.With("sampling_error")
+	mDegradePanic     = mDegradation.With("panic")
+	mArchiveHits = metrics.Default().Counter(
+		"qss_archive_hits_total",
+		"QSS archive selectivity lookups answered from archived statistics.")
+	mArchiveMisses = metrics.Default().Counter(
+		"qss_archive_misses_total",
+		"QSS archive selectivity lookups that found no usable statistics.")
+	mErrorFactor = metrics.Default().Histogram(
+		"feedback_error_factor",
+		"Estimated/actual selectivity error factors observed by the feedback loop.",
+		metrics.ErrorFactorBuckets())
+)

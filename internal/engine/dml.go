@@ -168,10 +168,5 @@ func (e *Engine) execCreateIndex(stmt *sqlparser.CreateIndexStmt) (*Result, erro
 }
 
 func (e *Engine) dmlResult(n int, meter *costmodel.Meter) *Result {
-	m := Metrics{
-		ExecUnits:   meter.Units(),
-		ExecSeconds: meter.Seconds(),
-	}
-	m.TotalSeconds = m.ExecSeconds
-	return &Result{RowsAffected: n, Metrics: m}
+	return &Result{RowsAffected: n, Metrics: buildMetrics(nil, meter)}
 }

@@ -35,6 +35,7 @@ import (
 	"repro/internal/qgm"
 	"repro/internal/sqlparser"
 	"repro/internal/storage"
+	"repro/internal/tracing"
 	"repro/internal/value"
 )
 
@@ -59,8 +60,10 @@ type Config struct {
 	ReactiveCorrections bool
 	// Trace, when non-nil, receives one line per notable per-query decision:
 	// JITS collection choices with their s1/s2 scores, the chosen plan's
-	// root, and estimated-vs-actual selectivities observed by the feedback
-	// loop. Meant for debugging and for following the paper's pipeline live.
+	// root, estimated-vs-actual selectivities observed by the feedback loop,
+	// and per-phase span timings. All writes are serialized through an
+	// internal tracing.Tracer, so the writer may be shared by concurrent
+	// statements without external locking.
 	Trace io.Writer
 	// Parallelism is the default degree of intra-query parallelism for
 	// SELECT execution and JITS sample evaluation. Values <= 1 run the
@@ -117,7 +120,7 @@ type Engine struct {
 	clock        int64
 	migrateEvery int
 	selectCount  int64
-	trace        io.Writer
+	tracer       *tracing.Tracer
 	parallelism  int
 	stmtTimeout  time.Duration
 	closed       atomic.Bool
@@ -143,8 +146,10 @@ func New(cfg Config) *Engine {
 	if cfg.JITS.Parallelism == 0 {
 		cfg.JITS.Parallelism = cfg.Parallelism
 	}
+	tracer := tracing.New(cfg.Trace)
 	jits := core.New(cfg.JITS, hist, cat)
 	jits.BindIndexes(ixs)
+	jits.BindTracer(tracer)
 	e := &Engine{
 		db:           storage.NewDatabase(),
 		cat:          cat,
@@ -153,7 +158,7 @@ func New(cfg Config) *Engine {
 		jits:         jits,
 		weights:      w,
 		migrateEvery: cfg.MigrateEvery,
-		trace:        cfg.Trace,
+		tracer:       tracer,
 		parallelism:  cfg.Parallelism,
 		stmtTimeout:  cfg.StatementTimeout,
 	}
@@ -197,12 +202,16 @@ func (e *Engine) Now() int64 {
 	return e.clock
 }
 
-// tracef writes one trace line when tracing is enabled.
+// tracef writes one trace line when tracing is enabled. The tracer
+// serializes concurrent writers; before it existed, concurrent statements
+// interleaved partial lines (and raced) on the shared Config.Trace writer.
 func (e *Engine) tracef(format string, args ...any) {
-	if e.trace != nil {
-		fmt.Fprintf(e.trace, format+"\n", args...)
-	}
+	e.tracer.Printf(format, args...)
 }
+
+// Tracer exposes the engine's phase tracer (tests and tools may emit their
+// own lines through it; it is always non-nil).
+func (e *Engine) Tracer() *tracing.Tracer { return e.tracer }
 
 // TableSchema implements qgm.SchemaResolver.
 func (e *Engine) TableSchema(name string) (*storage.Schema, bool) {
@@ -245,6 +254,20 @@ func (e *Engine) ExecWith(sql string, opts ExecOptions) (*Result, error) {
 	return e.ExecWithContext(context.Background(), sql, opts)
 }
 
+// execMode selects what execSelect does after compilation.
+type execMode uint8
+
+const (
+	// modeExecute runs the statement and returns its rows.
+	modeExecute execMode = iota
+	// modeExplain compiles only (including JITS collection) and returns the
+	// plan text as rows.
+	modeExplain
+	// modeExplainAnalyze runs the full pipeline and returns the plan text
+	// annotated with per-operator actuals as rows.
+	modeExplainAnalyze
+)
+
 // ExecWithContext parses and runs one SQL statement with per-query session
 // options under ctx. A statement timeout (ExecOptions.Timeout, falling back
 // to Config.StatementTimeout) is layered onto ctx as a deadline.
@@ -271,28 +294,54 @@ func (e *Engine) ExecWithContext(ctx context.Context, sql string, opts ExecOptio
 	if dop == 0 {
 		dop = e.parallelism
 	}
+	start := time.Now()
+	// Parsing precedes statement-timestamp assignment, so its span carries
+	// qid 0 ("pre-statement").
+	parseSpan := e.tracer.Start(0, tracing.PhaseParse)
 	stmt, err := sqlparser.Parse(sql)
+	parseSpan.End()
 	if err != nil {
+		stmtErrors.Inc()
 		return nil, err
 	}
+	var res *Result
 	switch s := stmt.(type) {
 	case *sqlparser.SelectStmt:
-		return e.execSelect(ctx, s, sql, false, dop)
+		stmtSelect.Inc()
+		res, err = e.execSelect(ctx, s, sql, modeExecute, dop)
 	case *sqlparser.ExplainStmt:
-		return e.execSelect(ctx, s.Select, sql, true, dop)
+		mode := modeExplain
+		if s.Analyze {
+			mode = modeExplainAnalyze
+			stmtExplainAnalyze.Inc()
+		} else {
+			stmtExplain.Inc()
+		}
+		res, err = e.execSelect(ctx, s.Select, sql, mode, dop)
 	case *sqlparser.InsertStmt:
-		return e.execInsert(s)
+		stmtDML.Inc()
+		res, err = e.execInsert(s)
 	case *sqlparser.UpdateStmt:
-		return e.execUpdate(s)
+		stmtDML.Inc()
+		res, err = e.execUpdate(s)
 	case *sqlparser.DeleteStmt:
-		return e.execDelete(s)
+		stmtDML.Inc()
+		res, err = e.execDelete(s)
 	case *sqlparser.CreateTableStmt:
-		return e.execCreateTable(s)
+		stmtDDL.Inc()
+		res, err = e.execCreateTable(s)
 	case *sqlparser.CreateIndexStmt:
-		return e.execCreateIndex(s)
+		stmtDDL.Inc()
+		res, err = e.execCreateIndex(s)
 	default:
 		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
 	}
+	if err != nil {
+		stmtErrors.Inc()
+		return nil, err
+	}
+	stmtWall.Observe(time.Since(start).Seconds())
+	return res, nil
 }
 
 // Degradation snapshots the JITS graceful-degradation counters: how many
@@ -320,11 +369,69 @@ func (s *staticSource) ColumnNDV(table, column string) (int64, bool) {
 	return s.archive.ColumnNDV(table, column)
 }
 
-// execSelect runs the full SELECT pipeline. With explainOnly the statement
+// buildMetrics assembles one statement's Metrics from its compile and
+// execution meters. Every statement path — SELECT, EXPLAIN, EXPLAIN ANALYZE,
+// DML, degraded compilation, timeout — reports through this single helper,
+// so the invariant TotalSeconds == CompileSeconds + ExecSeconds holds
+// everywhere (with a nil meter contributing zero).
+func buildMetrics(compile, exec *costmodel.Meter) Metrics {
+	var m Metrics
+	if compile != nil {
+		m.CompileUnits = compile.Units()
+		m.CompileSeconds = compile.Seconds()
+	}
+	if exec != nil {
+		m.ExecUnits = exec.Units()
+		m.ExecSeconds = exec.Seconds()
+	}
+	m.TotalSeconds = m.CompileSeconds + m.ExecSeconds
+	return m
+}
+
+// planRows renders a plan text as one result row per line under a "plan"
+// column — the EXPLAIN / EXPLAIN ANALYZE result shape.
+func planRows(text string) [][]value.Datum {
+	var rows [][]value.Datum
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		rows = append(rows, []value.Datum{value.NewString(line)})
+	}
+	return rows
+}
+
+// analyzeAnnotator builds the EXPLAIN ANALYZE annotation callback: executor
+// actuals per plan node, plus a degradation flag on scans whose JITS
+// collection fell back to catalog statistics.
+func analyzeAnnotator(stats *executor.ExecStats, prep *core.PrepareReport) optimizer.AnnotateFunc {
+	degraded := make(map[string]string)
+	if prep != nil {
+		for _, tr := range prep.Tables {
+			if tr.Degraded {
+				degraded[tr.Table] = tr.DegradeReason
+			}
+		}
+	}
+	return func(n optimizer.Node) (optimizer.Annotation, bool) {
+		st, ok := stats.Lookup(n)
+		if !ok {
+			return optimizer.Annotation{}, false
+		}
+		a := optimizer.Annotation{ActualRows: st.Rows, Units: st.Units, Wall: st.Wall}
+		if sc, isScan := n.(*optimizer.Scan); isScan {
+			if reason, deg := degraded[sc.Table]; deg {
+				a.Flags = "degraded: " + reason
+			}
+		}
+		return a, true
+	}
+}
+
+// execSelect runs the SELECT pipeline in one of three modes. modeExplain
 // compiles — including any JITS statistics collection, whose cost shows up
-// in the metrics — but does not execute: the result carries the plan text
-// as rows, one per line.
-func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql string, explainOnly bool, dop int) (*Result, error) {
+// in the metrics — but does not execute: the result carries the plan text as
+// rows, one per line. modeExplainAnalyze runs the full pipeline (execution,
+// feedback, reactive corrections, migration) and returns the plan text
+// annotated with each operator's actual rows, metered units and wall time.
+func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql string, mode execMode, dop int) (*Result, error) {
 	ts := e.tick()
 	var compileMeter, execMeter costmodel.Meter
 
@@ -339,11 +446,16 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 	// fails: on budget exhaustion, sampling faults or cancellation it
 	// reports fallback tables and the optimizer below transparently uses
 	// catalog statistics for them.
+	prepSpan := e.tracer.Start(ts, tracing.PhasePrepare)
 	qstats, prep, err := e.jits.Prepare(ctx, q, e.db, ts, &compileMeter, e.weights)
+	if prep != nil {
+		prepSpan.Attr("tables", len(prep.Tables)).Attr("units", fmt.Sprintf("%.0f", compileMeter.Units()))
+	}
+	prepSpan.End()
 	if err != nil {
 		return nil, err
 	}
-	if e.trace != nil && prep != nil {
+	if e.tracer.Enabled() && prep != nil {
 		for _, tr := range prep.Tables {
 			e.tracef("q%d jits %s collected=%v s1=%.3f s2=%.3f sample=%d groups=%d materialized=%d",
 				ts, tr.Table, tr.Collected, tr.Scores.S1, tr.Scores.S2,
@@ -370,24 +482,36 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 		Meter:   &compileMeter,
 	}
 
+	// EXPLAIN ANALYZE collects per-plan-node actuals from the executor;
+	// stats stays nil otherwise, keeping the normal path free of the
+	// per-operator meter and clock reads.
+	var stats *executor.ExecStats
+	if mode == modeExplainAnalyze {
+		stats = executor.NewExecStats()
+	}
+
 	// Execute IN-subquery blocks first and lower each semi-join into an IN
 	// predicate on the outer block, so the outer optimization sees the
-	// materialized match set.
-	var subPlans []string
+	// materialized match set. Plan text is rendered after execution so the
+	// annotated (ANALYZE) and plain renderings share one code path.
+	optSpan := e.tracer.Start(ts, tracing.PhaseOptimize)
+	var subPlanNodes []optimizer.Node
 	var subActuals []executor.ScanActual
 	for _, sj := range blk.SemiJoins {
 		inner := q.Blocks[sj.Block]
 		innerPlan, err := optimizer.Optimize(inner, octx)
 		if err != nil {
+			optSpan.End()
 			return nil, err
 		}
-		subPlans = append(subPlans, optimizer.ExplainParallel(innerPlan, dop))
-		if explainOnly {
+		subPlanNodes = append(subPlanNodes, innerPlan)
+		if mode == modeExplain {
 			continue
 		}
-		rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Ctx: ctx, Parallelism: dop}
+		rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Ctx: ctx, Parallelism: dop, Stats: stats}
 		innerRes, err := executor.Execute(inner, innerPlan, rt)
 		if err != nil {
+			optSpan.End()
 			return nil, err
 		}
 		subActuals = append(subActuals, innerRes.Actuals...)
@@ -408,39 +532,44 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 	}
 
 	plan, err := optimizer.Optimize(blk, octx)
+	optSpan.Attr("units", fmt.Sprintf("%.0f", compileMeter.Units())).End()
 	if err != nil {
 		return nil, err
 	}
-	planText := optimizer.ExplainParallel(plan, dop)
-	for i, sp := range subPlans {
-		planText += fmt.Sprintf("Subquery %d:\n%s", i+1, sp)
+
+	// renderPlan assembles the outer plan plus subquery sections, annotated
+	// when ann is non-nil.
+	renderPlan := func(ann optimizer.AnnotateFunc) string {
+		text := optimizer.ExplainAnnotated(plan, dop, ann)
+		for i, sp := range subPlanNodes {
+			text += fmt.Sprintf("Subquery %d:\n%s", i+1, optimizer.ExplainAnnotated(sp, dop, ann))
+		}
+		return text
 	}
 
-	if explainOnly {
-		explain := planText
-		var rows [][]value.Datum
-		for _, line := range strings.Split(strings.TrimRight(explain, "\n"), "\n") {
-			rows = append(rows, []value.Datum{value.NewString(line)})
-		}
-		m := Metrics{CompileUnits: compileMeter.Units(), CompileSeconds: compileMeter.Seconds()}
-		m.TotalSeconds = m.CompileSeconds
+	if mode == modeExplain {
+		explain := renderPlan(nil)
 		return &Result{
 			Columns: []string{"plan"},
-			Rows:    rows,
+			Rows:    planRows(explain),
 			Plan:    explain,
-			Metrics: m,
+			Metrics: buildMetrics(&compileMeter, nil),
 			Prepare: prep,
 		}, nil
 	}
 
-	rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Ctx: ctx, Parallelism: dop}
+	execSpan := e.tracer.Start(ts, tracing.PhaseExecute)
+	rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Ctx: ctx, Parallelism: dop, Stats: stats}
 	res, err := executor.Execute(blk, plan, rt)
 	if err != nil {
+		execSpan.End()
 		return nil, err
 	}
+	execSpan.Attr("rows", len(res.Rows)).Attr("units", fmt.Sprintf("%.0f", execMeter.Units())).End()
 
 	// LEO-style feedback: estimated vs. actual local-group selectivities,
 	// from the outer plan and any subquery plans.
+	fbSpan := e.tracer.Start(ts, tracing.PhaseFeedback)
 	var obs []core.Observation
 	for _, a := range append(subActuals, res.Actuals...) {
 		if a.Trace == nil || a.Conditioned {
@@ -458,6 +587,7 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 			ts, a.Trace.ColGrp, a.Trace.EstSel, a.ActualSelectivity(), a.Trace.StatList)
 	}
 	e.jits.Feedback(obs)
+	fbSpan.Attr("observations", len(obs)).End()
 	e.tracef("q%d plan rows=%.1f cost=%.0f exec=%.4fs compile=%.4fs",
 		ts, plan.Rows(), plan.Cost(), execMeter.Seconds(), compileMeter.Seconds())
 
@@ -486,22 +616,28 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 		due := e.selectCount%int64(e.migrateEvery) == 0
 		e.mu.Unlock()
 		if due {
-			e.jits.MigrateToCatalog(ts)
+			mergeSpan := e.tracer.Start(ts, tracing.PhaseArchiveMerge)
+			n := e.jits.MigrateToCatalog(ts)
+			mergeSpan.Attr("migrated", n).End()
 		}
 	}
 
-	m := Metrics{
-		CompileUnits:   compileMeter.Units(),
-		ExecUnits:      execMeter.Units(),
-		CompileSeconds: compileMeter.Seconds(),
-		ExecSeconds:    execMeter.Seconds(),
+	if mode == modeExplainAnalyze {
+		explain := renderPlan(analyzeAnnotator(stats, prep))
+		return &Result{
+			Columns: []string{"plan"},
+			Rows:    planRows(explain),
+			Plan:    explain,
+			Metrics: buildMetrics(&compileMeter, &execMeter),
+			Prepare: prep,
+		}, nil
 	}
-	m.TotalSeconds = m.CompileSeconds + m.ExecSeconds
+
 	return &Result{
 		Columns: res.Columns,
 		Rows:    res.Rows,
-		Plan:    planText,
-		Metrics: m,
+		Plan:    renderPlan(nil),
+		Metrics: buildMetrics(&compileMeter, &execMeter),
 		Prepare: prep,
 	}, nil
 }

@@ -1,0 +1,28 @@
+package engine
+
+import (
+	"repro/internal/metrics"
+)
+
+// Statement-level instruments on the process-wide default registry. They are
+// resolved once at package init so the per-statement path touches only the
+// instruments themselves (one atomic load each while the registry is
+// disabled — see the metrics package doc).
+var (
+	stmtWall = metrics.Default().Histogram(
+		"engine_statement_wall_seconds",
+		"Wall-clock latency of one statement, parse through result.",
+		metrics.LatencyBuckets())
+	stmtCount = metrics.Default().CounterVec(
+		"engine_statements_total",
+		"Statements executed, by statement kind.",
+		"kind")
+	stmtSelect         = stmtCount.With("select")
+	stmtExplain        = stmtCount.With("explain")
+	stmtExplainAnalyze = stmtCount.With("explain_analyze")
+	stmtDML            = stmtCount.With("dml")
+	stmtDDL            = stmtCount.With("ddl")
+	stmtErrors         = metrics.Default().Counter(
+		"engine_statement_errors_total",
+		"Statements that returned an error.")
+)

@@ -18,6 +18,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/costmodel"
 	"repro/internal/faultinject"
@@ -50,6 +51,11 @@ type Runtime struct {
 	// DefaultMorselSize. Tests shrink it to exercise multi-morsel paths on
 	// small tables.
 	MorselSize int
+	// Stats, when non-nil, collects per-plan-node runtime actuals (rows,
+	// metered units, wall time) for EXPLAIN ANALYZE. Leave nil on the
+	// normal path: collection costs a meter read and a clock read per
+	// operator.
+	Stats *ExecStats
 }
 
 // dop returns the effective degree of parallelism (always >= 1).
@@ -83,6 +89,38 @@ func (rt *Runtime) charge(units float64) {
 	if rt.Meter != nil {
 		rt.Meter.Add(units)
 	}
+}
+
+// NodeStats holds the runtime actuals of one plan operator. Units and Wall
+// are cumulative over the operator's subtree — the same convention the
+// optimizer's Cost() estimate uses — so estimated and actual columns in
+// EXPLAIN ANALYZE compare like for like.
+type NodeStats struct {
+	Rows  float64
+	Units float64
+	Wall  time.Duration
+}
+
+// ExecStats maps plan nodes to their runtime actuals. It is populated by
+// the executor's single driver goroutine (morsel workers report through
+// their parent operator, which blocks until they finish), so it needs no
+// locking; read it only after Execute returns.
+type ExecStats struct {
+	nodes map[optimizer.Node]NodeStats
+}
+
+// NewExecStats returns an empty collector to hang on Runtime.Stats.
+func NewExecStats() *ExecStats {
+	return &ExecStats{nodes: make(map[optimizer.Node]NodeStats)}
+}
+
+// Lookup returns the recorded actuals for a plan node.
+func (s *ExecStats) Lookup(n optimizer.Node) (NodeStats, bool) {
+	if s == nil {
+		return NodeStats{}, false
+	}
+	st, ok := s.nodes[n]
+	return st, ok
 }
 
 // ScanActual reports what one base-table access really saw — the raw
@@ -173,6 +211,33 @@ func (ex *executor) run(node optimizer.Node) (*relation, error) {
 	if err := ex.rt.ctxErr(); err != nil {
 		return nil, err
 	}
+	if st := ex.rt.Stats; st != nil {
+		// Snapshot the meter and clock around the dispatch: the delta is the
+		// subtree's cumulative work, since children execute inside it.
+		var before float64
+		if ex.rt.Meter != nil {
+			before = ex.rt.Meter.Units()
+		}
+		start := time.Now()
+		rel, err := ex.dispatch(node)
+		if err != nil {
+			return nil, err
+		}
+		after := before
+		if ex.rt.Meter != nil {
+			after = ex.rt.Meter.Units()
+		}
+		st.nodes[node] = NodeStats{
+			Rows:  float64(len(rel.rows)),
+			Units: after - before,
+			Wall:  time.Since(start),
+		}
+		return rel, nil
+	}
+	return ex.dispatch(node)
+}
+
+func (ex *executor) dispatch(node optimizer.Node) (*relation, error) {
 	switch n := node.(type) {
 	case *optimizer.Scan:
 		return ex.runScan(n)

@@ -14,6 +14,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"strings"
@@ -74,6 +75,11 @@ type Options struct {
 	// wall-clock time only: the simulated cost-model timings — everything
 	// the experiment tables report — are identical at any value.
 	Parallelism int
+	// Trace, when non-nil, receives every engine's phase spans and decision
+	// lines (see internal/tracing). All engines an experiment constructs
+	// share the writer; the tracer serializes lines, so the interleaved
+	// stream stays well-formed. jitsbench plumbs its -trace flag here.
+	Trace io.Writer
 }
 
 // DefaultOptions mirrors the paper: the 840-query workload at 1/100 of the
@@ -110,7 +116,7 @@ type Table2Row struct {
 // Table2 generates the dataset and reports the table sizes next to the
 // paper's (Table 2); the ratios must match, the absolute counts are scaled.
 func Table2(opts Options) ([]Table2Row, error) {
-	e := engine.New(engine.Config{})
+	e := engine.New(engine.Config{Trace: opts.Trace})
 	d, err := workload.Load(e, workload.Spec{Scale: opts.Scale, Seed: opts.Seed})
 	if err != nil {
 		return nil, err
@@ -157,7 +163,7 @@ func Table3(opts Options) ([]Table3Row, error) {
 	}
 	var out []Table3Row
 	for _, sc := range scenarios {
-		cfg := engine.Config{Parallelism: opts.Parallelism}
+		cfg := engine.Config{Parallelism: opts.Parallelism, Trace: opts.Trace}
 		if sc.jits {
 			cfg.JITS = opts.jitsConfig()
 			cfg.JITS.ForceCollect = true
@@ -204,7 +210,7 @@ type QueryTiming struct {
 // in one setting and returns per-query timings. The statement stream is
 // deterministic in the options, so every setting sees the identical stream.
 func RunWorkload(setting Setting, opts Options) ([]QueryTiming, error) {
-	cfg := engine.Config{Parallelism: opts.Parallelism}
+	cfg := engine.Config{Parallelism: opts.Parallelism, Trace: opts.Trace}
 	if setting == SettingJITS {
 		cfg.JITS = opts.jitsConfig()
 	}
@@ -404,10 +410,10 @@ func OLTP(opts Options) ([]OLTPResult, error) {
 		name  string
 		build func() engine.Config
 	}{
-		{"JITS disabled", func() engine.Config { return engine.Config{} }},
-		{"JITS + sensitivity", func() engine.Config { return engine.Config{JITS: opts.jitsConfig()} }},
+		{"JITS disabled", func() engine.Config { return engine.Config{Trace: opts.Trace} }},
+		{"JITS + sensitivity", func() engine.Config { return engine.Config{JITS: opts.jitsConfig(), Trace: opts.Trace} }},
 		{"JITS forced", func() engine.Config {
-			cfg := engine.Config{JITS: opts.jitsConfig()}
+			cfg := engine.Config{JITS: opts.jitsConfig(), Trace: opts.Trace}
 			cfg.JITS.ForceCollect = true
 			return cfg
 		}},
@@ -511,7 +517,7 @@ func ParallelSpeedup(opts Options, workers []int) ([]SpeedupRow, error) {
 	var baseline []string
 	var baselineSim float64
 	for _, dop := range workers {
-		cfg := engine.Config{Parallelism: dop, JITS: opts.jitsConfig()}
+		cfg := engine.Config{Parallelism: dop, JITS: opts.jitsConfig(), Trace: opts.Trace}
 		e := engine.New(cfg)
 		d, err := workload.Load(e, workload.Spec{Scale: opts.Scale, Seed: opts.Seed})
 		if err != nil {

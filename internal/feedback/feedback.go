@@ -14,6 +14,7 @@
 package feedback
 
 import (
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -34,9 +35,11 @@ type Entry struct {
 
 // Accuracy converts an error factor into the paper's [0,1] accuracy scale:
 // overestimating by 2× and underestimating by 2× are equally inaccurate, so
-// the score is min(ef, 1/ef). A perfect estimate scores 1.
+// the score is min(ef, 1/ef) — symmetric under inversion, Accuracy(ef) ==
+// Accuracy(1/ef). A perfect estimate scores 1. Non-positive and NaN inputs
+// (no information) score 0; ±Inf scores 0 by the same min rule.
 func Accuracy(errorFactor float64) float64 {
-	if errorFactor <= 0 {
+	if math.IsNaN(errorFactor) || errorFactor <= 0 {
 		return 0
 	}
 	if errorFactor > 1 {
@@ -71,6 +74,12 @@ func NewHistory() *History {
 // given error factor (estimated/actual). Repeated observations accumulate
 // the count and exponentially average the error factor.
 func (h *History) Record(table, colgrp string, statlist []string, errorFactor float64) {
+	// A non-finite error factor carries no usable signal and, once mixed
+	// into the EWMA, would poison the entry forever (NaN never decays out).
+	// ErrorFactor can no longer produce one, but Record is a public API.
+	if math.IsNaN(errorFactor) || math.IsInf(errorFactor, 0) {
+		return
+	}
 	key, sorted := canonStats(statlist)
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -160,18 +169,30 @@ func sortEntries(es []Entry) {
 	})
 }
 
-// ErrorFactor computes estimated/actual with both sides floored to keep the
-// ratio finite: floor represents half a row at the given cardinality.
+// ErrorFactor computes estimated/actual with both sides clamped into
+// [floor, 1] to keep the ratio finite: floor represents half a row at the
+// given cardinality (1e-9 when the cardinality is unknown or non-positive),
+// and a selectivity can never exceed 1. Degenerate inputs are sanitized
+// before the ratio: NaN (an undefined estimate, e.g. 0/0 from an empty
+// sample) clamps to the floor, +Inf clamps to 1 — so the result is always a
+// finite value in [floor, 1/floor] and safe to feed into the EWMA history
+// and the error-factor histogram.
 func ErrorFactor(estimatedSel, actualSel float64, cardinality int64) float64 {
 	floor := 1e-9
 	if cardinality > 0 {
 		floor = 0.5 / float64(cardinality)
 	}
-	if estimatedSel < floor {
-		estimatedSel = floor
+	clamp := func(sel float64) float64 {
+		switch {
+		case math.IsNaN(sel):
+			return floor
+		case sel < floor: // also catches -Inf
+			return floor
+		case sel > 1: // also catches +Inf
+			return 1
+		default:
+			return sel
+		}
 	}
-	if actualSel < floor {
-		actualSel = floor
-	}
-	return estimatedSel / actualSel
+	return clamp(estimatedSel) / clamp(actualSel)
 }

@@ -17,6 +17,9 @@ func TestAccuracy(t *testing.T) {
 		{4, 0.25},
 		{0, 0},
 		{-1, 0},
+		{math.NaN(), 0},
+		{math.Inf(1), 0},
+		{math.Inf(-1), 0},
 	}
 	for _, c := range cases {
 		if got := Accuracy(c.ef); math.Abs(got-c.want) > 1e-12 {
@@ -127,6 +130,66 @@ func TestErrorFactor(t *testing.T) {
 	// Zero cardinality uses the tiny default floor without dividing by zero.
 	if got := ErrorFactor(0.5, 0.5, 0); math.Abs(got-1) > 1e-12 {
 		t.Errorf("ef = %v", got)
+	}
+}
+
+// TestErrorFactorDegenerateInputs pins the hardening contract: whatever the
+// selectivities — NaN from a 0/0 division, ±Inf, negatives, values above 1,
+// non-positive cardinalities — the error factor is finite and positive.
+func TestErrorFactorDegenerateInputs(t *testing.T) {
+	bad := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.5, 1.5, 0, 1e300}
+	cards := []int64{-1, 0, 1, 1000, math.MaxInt64}
+	for _, est := range bad {
+		for _, act := range bad {
+			for _, card := range cards {
+				ef := ErrorFactor(est, act, card)
+				if math.IsNaN(ef) || math.IsInf(ef, 0) || ef <= 0 {
+					t.Errorf("ErrorFactor(%v, %v, %d) = %v, want finite positive", est, act, card, ef)
+				}
+			}
+		}
+	}
+	// NaN estimate with a known actual behaves like a floored (vanishing)
+	// estimate, not like a perfect one.
+	if got := ErrorFactor(math.NaN(), 0.5, 1000); got >= 1 {
+		t.Errorf("NaN estimate ef = %v, want << 1", got)
+	}
+	// +Inf estimate clamps to the selectivity ceiling of 1.
+	if got := ErrorFactor(math.Inf(1), 0.5, 1000); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Inf estimate ef = %v, want 2", got)
+	}
+}
+
+// TestErrorFactorBoundedProperty: for arbitrary finite inputs the result
+// stays within [floor, 1/floor], the paper's meaningful error-factor range.
+func TestErrorFactorBoundedProperty(t *testing.T) {
+	f := func(eRaw, aRaw uint32, cRaw uint16) bool {
+		est := float64(eRaw) / float64(math.MaxUint32) // [0, 1]
+		act := float64(aRaw) / float64(math.MaxUint32)
+		card := int64(cRaw) + 1
+		floor := 0.5 / float64(card)
+		ef := ErrorFactor(est, act, card)
+		return ef >= floor*(1-1e-12) && ef <= (1/floor)*(1+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRecordIgnoresNonFinite: a non-finite error factor must not enter the
+// history — once mixed into the EWMA it would never decay out.
+func TestRecordIgnoresNonFinite(t *testing.T) {
+	h := NewHistory()
+	h.Record("t", "t(a)", []string{"t(a)"}, math.NaN())
+	h.Record("t", "t(a)", []string{"t(a)"}, math.Inf(1))
+	if h.Len() != 0 || h.TotalCount() != 0 {
+		t.Fatalf("non-finite records entered history: len=%d total=%d", h.Len(), h.TotalCount())
+	}
+	h.Record("t", "t(a)", []string{"t(a)"}, 0.5)
+	h.Record("t", "t(a)", []string{"t(a)"}, math.NaN())
+	got := h.EntriesFor("t", "t(a)")
+	if len(got) != 1 || got[0].Count != 1 || got[0].ErrorFactor != 0.5 {
+		t.Errorf("entry corrupted by non-finite record: %+v", got)
 	}
 }
 

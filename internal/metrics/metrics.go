@@ -1,0 +1,466 @@
+// Package metrics is the engine's process-wide metrics registry: counters,
+// gauges and bounded histograms with Prometheus-style text exposition.
+//
+// The registry follows the same discipline as faultinject: telemetry must be
+// free when nobody is looking. Every instrument holds a pointer to its
+// registry's enabled flag, and the hot-path methods (Counter.Add,
+// Gauge.Set, Histogram.Observe) return after ONE atomic load when the
+// registry is disabled — no map lookups, no mutexes, no allocation.
+// BenchmarkDisabledCounterInc next to BenchmarkAtomicLoadBaseline
+// demonstrates the equivalence; `make bench-smoke` runs both.
+//
+// Instruments are registered once (typically in package var initializers of
+// the instrumented package) and live for the process lifetime, so the
+// registration path may take locks freely. All value updates are lock-free
+// atomics, safe for concurrent statements at any degree of parallelism.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// kind enumerates the instrument families for TYPE exposition lines.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Registry holds a set of named instruments. The zero value is not usable;
+// call NewRegistry. A registry starts disabled: instruments accept updates
+// only after Enable, and cost one atomic load per update until then.
+type Registry struct {
+	enabled atomic.Bool
+	mu      sync.Mutex
+	byName  map[string]*family
+}
+
+// family is one named metric: a bare instrument or a set of labeled children.
+type family struct {
+	name, help string
+	kind       kind
+	labelKey   string // non-empty for vectors
+	single     exposable
+	mu         sync.Mutex
+	children   map[string]exposable // label value → instrument
+}
+
+// exposable is anything that can write its sample lines.
+type exposable interface {
+	expose(w io.Writer, name, labels string)
+	reset()
+}
+
+// NewRegistry returns an empty, disabled registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the package-level registry the engine's instruments
+// register with.
+func Default() *Registry { return defaultRegistry }
+
+// Enable turns value collection on.
+func (r *Registry) Enable() { r.enabled.Store(true) }
+
+// Disable turns value collection off; instruments keep their current values
+// but stop accepting updates.
+func (r *Registry) Disable() { r.enabled.Store(false) }
+
+// Enabled reports whether the registry is collecting.
+func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+// Reset zeroes every registered instrument (labeled children are dropped).
+// Meant for tests and between benchmark runs; instruments stay registered.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.byName {
+		if f.single != nil {
+			f.single.reset()
+		}
+		f.mu.Lock()
+		f.children = make(map[string]exposable)
+		f.mu.Unlock()
+	}
+}
+
+// register returns the family for name, creating it on first use. Re-using a
+// name with a different kind or label key is a programming error and panics.
+func (r *Registry) register(name, help string, k kind, labelKey string) *family {
+	if name == "" {
+		panic("metrics: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != k || f.labelKey != labelKey {
+			panic(fmt.Sprintf("metrics: %q re-registered as %s/label=%q (was %s/label=%q)",
+				name, k, labelKey, f.kind, f.labelKey))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: k, labelKey: labelKey,
+		children: make(map[string]exposable)}
+	r.byName[name] = f
+	return f
+}
+
+// Counter returns the monotonically increasing counter registered under
+// name, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, "")
+	if f.single == nil {
+		f.single = &Counter{on: &r.enabled}
+	}
+	return f.single.(*Counter)
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, "")
+	if f.single == nil {
+		f.single = &Gauge{on: &r.enabled}
+	}
+	return f.single.(*Gauge)
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use with the given ascending bucket upper bounds (an implicit +Inf
+// bucket is always appended).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, kindHistogram, "")
+	if f.single == nil {
+		f.single = newHistogram(&r.enabled, buckets)
+	}
+	return f.single.(*Histogram)
+}
+
+// CounterVec returns a counter family partitioned by one label, creating it
+// on first use.
+func (r *Registry) CounterVec(name, help, labelKey string) *CounterVec {
+	f := r.register(name, help, kindCounter, labelKey)
+	return &CounterVec{on: &r.enabled, fam: f}
+}
+
+// HistogramVec returns a histogram family partitioned by one label.
+func (r *Registry) HistogramVec(name, help, labelKey string, buckets []float64) *HistogramVec {
+	f := r.register(name, help, kindHistogram, labelKey)
+	return &HistogramVec{on: &r.enabled, fam: f, buckets: append([]float64(nil), buckets...)}
+}
+
+// WriteText writes every registered metric in the Prometheus text exposition
+// format (HELP/TYPE headers, families sorted by name, children sorted by
+// label value).
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.byName))
+	for _, f := range r.byName {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var sb strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.kind)
+		if f.single != nil {
+			f.single.expose(&sb, f.name, "")
+			continue
+		}
+		f.mu.Lock()
+		vals := make([]string, 0, len(f.children))
+		for v := range f.children {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		for _, v := range vals {
+			f.children[v].expose(&sb, f.name, fmt.Sprintf(`%s=%q`, f.labelKey, v))
+		}
+		f.mu.Unlock()
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the registry as exposition text (for logs and tests).
+func (r *Registry) String() string {
+	var sb strings.Builder
+	_ = r.WriteText(&sb)
+	return sb.String()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// withLabels joins a metric name and an optional label pair.
+func withLabels(name, labels string, extra ...string) string {
+	all := make([]string, 0, 2)
+	if labels != "" {
+		all = append(all, labels)
+	}
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return name
+	}
+	return name + "{" + strings.Join(all, ",") + "}"
+}
+
+// ---- Counter -------------------------------------------------------------
+
+// Counter is a monotonically increasing value. The zero value is inert (nil
+// receiver and zero struct both no-op); obtain one from a Registry.
+type Counter struct {
+	on   *atomic.Bool
+	bits atomic.Uint64 // float64 bit pattern
+}
+
+// Add accrues v (negative deltas are ignored — counters are monotonic).
+// When the registry is disabled this is one atomic load.
+func (c *Counter) Add(v float64) {
+	if c == nil || c.on == nil || !c.on.Load() {
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	addBits(&c.bits, v)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+func (c *Counter) expose(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s %s\n", withLabels(name, labels), formatFloat(c.Value()))
+}
+
+func (c *Counter) reset() { c.bits.Store(0) }
+
+// addBits adds v to a float64 stored as atomic bits (lock-free CAS loop,
+// the same technique as costmodel.Meter).
+func addBits(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ---- Gauge ---------------------------------------------------------------
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	on   *atomic.Bool
+	bits atomic.Uint64
+}
+
+// Set stores v. One atomic load when the registry is disabled.
+func (g *Gauge) Set(v float64) {
+	if g == nil || g.on == nil || !g.on.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add accrues a (possibly negative) delta.
+func (g *Gauge) Add(v float64) {
+	if g == nil || g.on == nil || !g.on.Load() {
+		return
+	}
+	addBits(&g.bits, v)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) expose(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s %s\n", withLabels(name, labels), formatFloat(g.Value()))
+}
+
+func (g *Gauge) reset() { g.bits.Store(0) }
+
+// ---- Histogram -----------------------------------------------------------
+
+// Histogram counts observations into a fixed set of cumulative buckets —
+// bounded memory, lock-free observation. Non-finite observations are
+// dropped rather than poisoning the sum (see feedback.ErrorFactor hardening
+// for where that matters).
+type Histogram struct {
+	on      *atomic.Bool
+	bounds  []float64 // ascending upper bounds, excluding +Inf
+	counts  []atomic.Uint64
+	inf     atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+func newHistogram(on *atomic.Bool, buckets []float64) *Histogram {
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &Histogram{on: on, bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+}
+
+// Observe records one sample. One atomic load when the registry is disabled.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || h.on == nil || !h.on.Load() {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	addBits(&h.sumBits, v)
+	h.count.Add(1)
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of recorded observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+func (h *Histogram) expose(w io.Writer, name, labels string) {
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s %d\n", withLabels(name+"_bucket", labels, fmt.Sprintf(`le=%q`, formatFloat(b))), cum)
+	}
+	cum += h.inf.Load()
+	fmt.Fprintf(w, "%s %d\n", withLabels(name+"_bucket", labels, `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s %s\n", withLabels(name+"_sum", labels), formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s %d\n", withLabels(name+"_count", labels), h.count.Load())
+}
+
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.inf.Store(0)
+	h.sumBits.Store(0)
+	h.count.Store(0)
+}
+
+// ---- Vectors -------------------------------------------------------------
+
+// CounterVec is a counter family partitioned by one label.
+type CounterVec struct {
+	on  *atomic.Bool
+	fam *family
+}
+
+// With returns the child counter for the given label value, creating it on
+// first use. Hot paths that increment a fixed cause should hold on to the
+// child; With itself takes the family lock.
+func (v *CounterVec) With(labelValue string) *Counter {
+	v.fam.mu.Lock()
+	defer v.fam.mu.Unlock()
+	if c, ok := v.fam.children[labelValue]; ok {
+		return c.(*Counter)
+	}
+	c := &Counter{on: v.on}
+	v.fam.children[labelValue] = c
+	return c
+}
+
+// HistogramVec is a histogram family partitioned by one label.
+type HistogramVec struct {
+	on      *atomic.Bool
+	fam     *family
+	buckets []float64
+}
+
+// With returns the child histogram for the given label value.
+func (v *HistogramVec) With(labelValue string) *Histogram {
+	v.fam.mu.Lock()
+	defer v.fam.mu.Unlock()
+	if h, ok := v.fam.children[labelValue]; ok {
+		return h.(*Histogram)
+	}
+	h := newHistogram(v.on, v.buckets)
+	v.fam.children[labelValue] = h
+	return h
+}
+
+// ---- Package-level conveniences over the default registry ---------------
+
+// Enable turns on the default registry.
+func Enable() { defaultRegistry.Enable() }
+
+// Disable turns off the default registry.
+func Disable() { defaultRegistry.Disable() }
+
+// Enabled reports whether the default registry is collecting.
+func Enabled() bool { return defaultRegistry.Enabled() }
+
+// WriteText writes the default registry's exposition text.
+func WriteText(w io.Writer) error { return defaultRegistry.WriteText(w) }
+
+// Reset zeroes the default registry's instruments (tests).
+func Reset() { defaultRegistry.Reset() }
+
+// LatencyBuckets are the default upper bounds for wall-clock statement
+// latency histograms, in seconds: 100µs to 10s, roughly ×2.5 per step.
+func LatencyBuckets() []float64 {
+	return []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// ErrorFactorBuckets are the default upper bounds for estimated/actual
+// error-factor histograms, symmetric in log-space around the perfect 1.0.
+func ErrorFactorBuckets() []float64 {
+	return []float64{0.01, 0.1, 0.25, 0.5, 0.8, 1.25, 2, 4, 10, 100}
+}

@@ -1,0 +1,235 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCounterDisabledIsInert(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(5)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("disabled counter accumulated %v", got)
+	}
+	r.Enable()
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("enabled counter = %v, want 3.5", got)
+	}
+	c.Add(-1) // counters are monotonic: negative deltas dropped
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter after negative add = %v, want 3.5", got)
+	}
+	r.Disable()
+	c.Inc()
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("re-disabled counter = %v, want 3.5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+	g := r.Gauge("test_gauge", "help")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %v, want 5", got)
+	}
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	out := r.String()
+	for _, want := range []string{
+		`# TYPE lat_seconds histogram`,
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_sum 56.05`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramDropsNonFinite(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+	h := r.Histogram("h", "help", []float64{1})
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	if h.Count() != 0 {
+		t.Fatalf("non-finite observations recorded: count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestCounterVecExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+	v := r.CounterVec("deg_total", "degradations by cause", "cause")
+	v.With("budget").Add(2)
+	v.With("panic").Inc()
+	out := r.String()
+	for _, want := range []string{
+		"# HELP deg_total degradations by cause",
+		"# TYPE deg_total counter",
+		`deg_total{cause="budget"} 2`,
+		`deg_total{cause="panic"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic order: budget sorts before panic.
+	if strings.Index(out, `cause="budget"`) > strings.Index(out, `cause="panic"`) {
+		t.Errorf("labels not sorted:\n%s", out)
+	}
+}
+
+func TestExpositionSortedByName(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+	r.Counter("zzz_total", "z").Inc()
+	r.Counter("aaa_total", "a").Inc()
+	out := r.String()
+	if strings.Index(out, "aaa_total") > strings.Index(out, "zzz_total") {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+}
+
+func TestGetOrCreateReturnsSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("c", "h") != r.Counter("c", "h") {
+		t.Error("Counter not idempotent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("c", "h")
+}
+
+func TestResetZeroesEverything(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+	c := r.Counter("c_total", "h")
+	c.Add(9)
+	h := r.Histogram("h_seconds", "h", []float64{1})
+	h.Observe(0.5)
+	v := r.CounterVec("v_total", "h", "k")
+	v.With("x").Inc()
+	r.Reset()
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("reset left values: c=%v h=%d", c.Value(), h.Count())
+	}
+	if strings.Contains(r.String(), `v_total{`) {
+		t.Fatalf("reset kept labeled children:\n%s", r.String())
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+	c := r.Counter("c_total", "h")
+	h := r.Histogram("h_vals", "h", []float64{10, 100})
+	v := r.CounterVec("v_total", "h", "k")
+	var wg sync.WaitGroup
+	const workers, iters = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				h.Observe(float64(i % 200))
+				v.With("a").Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*iters {
+		t.Errorf("counter = %v, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	if got := v.With("a").Value(); got != workers*iters {
+		t.Errorf("vec counter = %v, want %d", got, workers*iters)
+	}
+}
+
+// ---- disabled-overhead benchmarks (make bench-smoke) ---------------------
+
+// BenchmarkAtomicLoadBaseline measures the floor: one atomic bool load.
+// BenchmarkDisabledCounterInc and BenchmarkDisabledHistogramObserve must be
+// within noise of it — the disabled hot path is exactly that load.
+func BenchmarkAtomicLoadBaseline(b *testing.B) {
+	var on atomic.Bool
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if on.Load() {
+			n++
+		}
+	}
+	if n != 0 {
+		b.Fatal("flag flipped")
+	}
+}
+
+func BenchmarkDisabledCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "h")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkDisabledHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "h", LatencyBuckets())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.001)
+	}
+}
+
+func BenchmarkEnabledCounterInc(b *testing.B) {
+	r := NewRegistry()
+	r.Enable()
+	c := r.Counter("bench_total", "h")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkEnabledHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	r.Enable()
+	h := r.Histogram("bench_seconds", "h", LatencyBuckets())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.001)
+	}
+}

@@ -3,6 +3,7 @@ package optimizer
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/qgm"
 )
@@ -46,7 +47,41 @@ type Node interface {
 	Cost() float64
 	// Slots lists the table slots this subtree produces.
 	Slots() []int
-	explain(sb *strings.Builder, indent int)
+	explain(sb *strings.Builder, indent int, ann AnnotateFunc)
+}
+
+// Annotation carries one operator's runtime actuals for EXPLAIN ANALYZE:
+// what the executor really saw, next to the printed estimates. Units and
+// Wall are cumulative over the operator's subtree, matching Cost().
+type Annotation struct {
+	// ActualRows is the number of rows the operator emitted.
+	ActualRows float64
+	// Units is the metered work charged while the subtree executed.
+	Units float64
+	// Wall is the wall-clock time the subtree took.
+	Wall time.Duration
+	// Flags carries degradation/fallback notes (e.g. a scan whose JITS
+	// collection degraded to catalog statistics); empty when clean.
+	Flags string
+}
+
+// AnnotateFunc resolves a plan node to its runtime annotation; ok=false
+// leaves the node unannotated (e.g. a subtree skipped by an early error).
+type AnnotateFunc func(Node) (Annotation, bool)
+
+// annotate appends the EXPLAIN ANALYZE suffix for one node.
+func annotate(sb *strings.Builder, n Node, ann AnnotateFunc) {
+	if ann == nil {
+		return
+	}
+	a, ok := ann(n)
+	if !ok {
+		return
+	}
+	fmt.Fprintf(sb, " (actual rows=%.0f units=%.0f wall=%s)", a.ActualRows, a.Units, a.Wall)
+	if a.Flags != "" {
+		fmt.Fprintf(sb, " [%s]", a.Flags)
+	}
 }
 
 // Trace records the provenance of a scan's selectivity estimate so the
@@ -88,7 +123,7 @@ func (s *Scan) Cost() float64 { return s.EstCost }
 // Slots implements Node.
 func (s *Scan) Slots() []int { return []int{s.Slot} }
 
-func (s *Scan) explain(sb *strings.Builder, indent int) {
+func (s *Scan) explain(sb *strings.Builder, indent int, ann AnnotateFunc) {
 	pad := strings.Repeat("  ", indent)
 	access := "TableScan"
 	if s.IndexColumn != "" {
@@ -102,7 +137,9 @@ func (s *Scan) explain(sb *strings.Builder, indent int) {
 		}
 		fmt.Fprintf(sb, " filter[%s]", strings.Join(parts, " AND "))
 	}
-	fmt.Fprintf(sb, " rows=%.1f cost=%.0f\n", s.EstRows, s.EstCost)
+	fmt.Fprintf(sb, " rows=%.1f cost=%.0f", s.EstRows, s.EstCost)
+	annotate(sb, s, ann)
+	sb.WriteByte('\n')
 }
 
 // Join combines two subtrees on equality predicates.
@@ -126,22 +163,22 @@ func (j *Join) Slots() []int {
 	return append(append([]int(nil), j.Left.Slots()...), j.Right.Slots()...)
 }
 
-func (j *Join) explain(sb *strings.Builder, indent int) {
+func (j *Join) explain(sb *strings.Builder, indent int, ann AnnotateFunc) {
 	pad := strings.Repeat("  ", indent)
 	parts := make([]string, len(j.Preds))
 	for i, p := range j.Preds {
 		parts[i] = p.String()
 	}
-	fmt.Fprintf(sb, "%s%s on[%s] rows=%.1f cost=%.0f\n", pad, j.Method, strings.Join(parts, " AND "), j.EstRows, j.EstCost)
-	j.Left.explain(sb, indent+1)
-	j.Right.explain(sb, indent+1)
+	fmt.Fprintf(sb, "%s%s on[%s] rows=%.1f cost=%.0f", pad, j.Method, strings.Join(parts, " AND "), j.EstRows, j.EstCost)
+	annotate(sb, j, ann)
+	sb.WriteByte('\n')
+	j.Left.explain(sb, indent+1, ann)
+	j.Right.explain(sb, indent+1, ann)
 }
 
 // Explain renders the join tree as an indented EXPLAIN string.
 func Explain(n Node) string {
-	var sb strings.Builder
-	n.explain(&sb, 0)
-	return sb.String()
+	return ExplainAnnotated(n, 1, nil)
 }
 
 // ExplainParallel renders the join tree under a Gather header naming the
@@ -150,11 +187,21 @@ func Explain(n Node) string {
 // plain serial plan, so golden EXPLAIN output diffs cleanly between the
 // two modes.
 func ExplainParallel(n Node, workers int) string {
-	if workers <= 1 {
-		return Explain(n)
-	}
+	return ExplainAnnotated(n, workers, nil)
+}
+
+// ExplainAnnotated renders the join tree with per-operator runtime actuals
+// supplied by ann — the EXPLAIN ANALYZE rendering. A nil ann yields the
+// plain EXPLAIN text; workers > 1 adds the Gather header exactly as
+// ExplainParallel does, so estimated columns stay byte-identical between
+// the annotated and plain forms.
+func ExplainAnnotated(n Node, workers int, ann AnnotateFunc) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Gather(workers=%d)\n", workers)
-	n.explain(&sb, 1)
+	indent := 0
+	if workers > 1 {
+		fmt.Fprintf(&sb, "Gather(workers=%d)\n", workers)
+		indent = 1
+	}
+	n.explain(&sb, indent, ann)
 	return sb.String()
 }

@@ -246,10 +246,13 @@ type CreateIndexStmt struct {
 
 func (*CreateIndexStmt) stmt() {}
 
-// ExplainStmt is EXPLAIN SELECT ...: compile (including any JITS
-// statistics collection) and show the chosen plan without executing.
+// ExplainStmt is EXPLAIN [ANALYZE] SELECT ...: compile (including any JITS
+// statistics collection) and show the chosen plan. Plain EXPLAIN does not
+// execute; EXPLAIN ANALYZE executes the statement and annotates every plan
+// operator with its actual row count, metered work and wall time.
 type ExplainStmt struct {
-	Select *SelectStmt
+	Select  *SelectStmt
+	Analyze bool
 }
 
 func (*ExplainStmt) stmt() {}

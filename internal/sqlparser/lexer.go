@@ -38,7 +38,7 @@ var keywords = map[string]bool{
 	"DELETE": true, "CREATE": true, "TABLE": true, "INDEX": true, "ON": true,
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 	"INT": true, "FLOAT": true, "STRING": true, "NULL": true, "DISTINCT": true,
-	"EXPLAIN": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 // lexError reports a scanning problem with its byte offset.

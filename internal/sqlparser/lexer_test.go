@@ -132,8 +132,34 @@ func TestParseExplain(t *testing.T) {
 	if len(ex.Select.Where) != 1 {
 		t.Errorf("inner where = %d", len(ex.Select.Where))
 	}
+	if ex.Analyze {
+		t.Error("plain EXPLAIN must not set Analyze")
+	}
 	if _, err := Parse(`EXPLAIN DELETE FROM t`); err == nil {
 		t.Error("EXPLAIN DELETE must fail")
+	}
+}
+
+func TestParseExplainAnalyze(t *testing.T) {
+	stmt, err := Parse(`EXPLAIN ANALYZE SELECT a FROM t WHERE a > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := stmt.(*ExplainStmt)
+	if !ok {
+		t.Fatalf("stmt = %T", stmt)
+	}
+	if !ex.Analyze {
+		t.Error("EXPLAIN ANALYZE must set Analyze")
+	}
+	if len(ex.Select.Where) != 1 {
+		t.Errorf("inner where = %d", len(ex.Select.Where))
+	}
+	if _, err := Parse(`EXPLAIN ANALYZE`); err == nil {
+		t.Error("bare EXPLAIN ANALYZE must fail")
+	}
+	if _, err := Parse(`EXPLAIN ANALYZE UPDATE t SET a = 1`); err == nil {
+		t.Error("EXPLAIN ANALYZE of DML must fail")
 	}
 }
 

@@ -100,11 +100,12 @@ func (p *parser) parseStatement() (Statement, error) {
 	switch t.text {
 	case "EXPLAIN":
 		p.next()
+		analyze := p.acceptKeyword("ANALYZE")
 		sel, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Select: sel}, nil
+		return &ExplainStmt{Select: sel, Analyze: analyze}, nil
 	case "SELECT":
 		return p.parseSelect()
 	case "INSERT":

@@ -1,0 +1,115 @@
+// Package tracing is the engine's structured phase tracer. One statement
+// flows through the paper's pipeline — parse → JITS prepare/sample →
+// optimize → execute → feedback → archive-merge — and each phase emits a
+// span line when tracing is enabled:
+//
+//	q17 span optimize wall=412µs cost=2416 rows=40.0
+//
+// plus free-form Printf lines for per-decision detail (JITS collection
+// choices, feedback observations). All output is serialized behind one
+// mutex, so concurrent statements tracing into the same io.Writer interleave
+// at line granularity instead of racing — the raw engine.Config.Trace
+// writer used to be written unsynchronized, which was a data race under
+// parallel statement streams.
+//
+// A nil or disabled Tracer costs one nil check plus at most one atomic load
+// per probe (the same discipline as faultinject and metrics);
+// BenchmarkDisabledSpan proves it and `make bench-smoke` runs it.
+package tracing
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase names of the engine pipeline, in execution order. Span phases are
+// not restricted to these, but the engine only emits these.
+const (
+	PhaseParse        = "parse"
+	PhasePrepare      = "jits.prepare"
+	PhaseSample       = "jits.sample"
+	PhaseOptimize     = "optimize"
+	PhaseExecute      = "execute"
+	PhaseFeedback     = "feedback"
+	PhaseArchiveMerge = "archive.merge"
+)
+
+// Tracer writes structured trace lines to one io.Writer. Safe for
+// concurrent use; a nil *Tracer is valid and disabled.
+type Tracer struct {
+	mu sync.Mutex
+	w  io.Writer
+	on atomic.Bool
+}
+
+// New returns a tracer writing to w; a nil w yields a disabled (but
+// non-nil) tracer, so callers never have to branch.
+func New(w io.Writer) *Tracer {
+	t := &Tracer{w: w}
+	t.on.Store(w != nil)
+	return t
+}
+
+// Enabled reports whether trace output is being produced. Nil-safe; this is
+// the one-atomic-load fast path every probe takes first.
+func (t *Tracer) Enabled() bool { return t != nil && t.on.Load() }
+
+// Printf writes one trace line (a newline is appended). No-op when
+// disabled; serialized when enabled.
+func (t *Tracer) Printf(format string, args ...any) {
+	if !t.Enabled() {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(t.w, format+"\n", args...)
+}
+
+// Span is one timed phase of one statement. Obtain via Tracer.Start; a nil
+// Span (disabled tracer) accepts Attr and End as no-ops.
+type Span struct {
+	t     *Tracer
+	qid   int64
+	phase string
+	start time.Time
+	attrs []string
+}
+
+// Start opens a span for statement qid in the given phase. Returns nil when
+// the tracer is disabled, which downstream Attr/End calls tolerate.
+func (t *Tracer) Start(qid int64, phase string) *Span {
+	if !t.Enabled() {
+		return nil
+	}
+	return &Span{t: t, qid: qid, phase: phase, start: time.Now()}
+}
+
+// Attr attaches one key=value attribute to the span; values format with %v.
+// Returns the span for chaining.
+func (s *Span) Attr(key string, v any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, fmt.Sprintf("%s=%v", key, v))
+	return s
+}
+
+// End closes the span, emitting one line with the wall-clock duration and
+// any attached attributes.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	wall := time.Since(s.start).Round(time.Microsecond)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "q%d span %s wall=%s", s.qid, s.phase, wall)
+	for _, a := range s.attrs {
+		sb.WriteByte(' ')
+		sb.WriteString(a)
+	}
+	s.t.Printf("%s", sb.String())
+}

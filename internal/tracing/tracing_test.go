@@ -1,0 +1,101 @@
+package tracing
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilAndDisabledTracersAreInert(t *testing.T) {
+	var nilT *Tracer
+	if nilT.Enabled() {
+		t.Error("nil tracer enabled")
+	}
+	nilT.Printf("x %d", 1) // must not panic
+	nilT.Start(1, PhaseParse).Attr("k", "v").End()
+
+	off := New(nil)
+	if off.Enabled() {
+		t.Error("New(nil) enabled")
+	}
+	off.Printf("x")
+	off.Start(1, PhaseExecute).End()
+}
+
+func TestSpanOutput(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf)
+	sp := tr.Start(7, PhaseOptimize)
+	sp.Attr("cost", 2416).Attr("rows", "40.0")
+	sp.End()
+	line := strings.TrimSpace(buf.String())
+	re := regexp.MustCompile(`^q7 span optimize wall=\S+ cost=2416 rows=40\.0$`)
+	if !re.MatchString(line) {
+		t.Errorf("span line = %q, want match of %v", line, re)
+	}
+}
+
+func TestPrintfAppendsNewline(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf)
+	tr.Printf("a %d", 1)
+	tr.Printf("b")
+	if got := buf.String(); got != "a 1\nb\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+// TestConcurrentWritesAreLineAtomic drives many goroutines through one
+// tracer into one bytes.Buffer — the shape that raced when the engine wrote
+// Config.Trace directly. Run under -race; also asserts no line is torn.
+func TestConcurrentWritesAreLineAtomic(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf)
+	var wg sync.WaitGroup
+	const workers, lines = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < lines; i++ {
+				tr.Printf("worker-%d line %d end", w, i)
+				tr.Start(int64(w), PhaseExecute).Attr("i", i).End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(got) != workers*lines*2 {
+		t.Fatalf("line count = %d, want %d", len(got), workers*lines*2)
+	}
+	for _, line := range got {
+		if !strings.HasSuffix(line, "end") && !regexp.MustCompile(`^q\d+ span `).MatchString(line) {
+			t.Fatalf("torn or malformed line %q", line)
+		}
+	}
+}
+
+// ---- disabled-overhead benchmarks (make bench-smoke) ---------------------
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	tr := New(nil)
+	for i := 0; i < b.N; i++ {
+		tr.Start(1, PhaseExecute).End()
+	}
+}
+
+func BenchmarkDisabledPrintf(b *testing.B) {
+	tr := New(nil)
+	for i := 0; i < b.N; i++ {
+		tr.Printf("q%d plan", i)
+	}
+}
+
+func BenchmarkNilTracerSpan(b *testing.B) {
+	var tr *Tracer
+	for i := 0; i < b.N; i++ {
+		tr.Start(1, PhaseExecute).End()
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke fuzz chaos check
+.PHONY: all build test race vet bench bench-smoke debug-smoke fuzz chaos check
 
 all: build
 
@@ -23,11 +23,21 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Telemetry must be free when nobody is looking: the disabled-path
-# benchmarks for the metrics registry and the phase tracer next to the bare
-# atomic-load baseline, all with -benchmem so an unexpected allocation on
-# the disabled path fails review at a glance. CI runs this target.
+# benchmarks for the metrics registry, the phase tracer and the flight
+# recorder next to the bare atomic-load baseline, plus the end-to-end
+# statement benchmark with the recorder on/off, all with -benchmem so an
+# unexpected allocation on a disabled path fails review at a glance. CI
+# runs this target.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Disabled|AtomicLoadBaseline|NilTracer' -benchmem ./internal/metrics/ ./internal/tracing/
+	$(GO) test -run '^$$' -bench 'Disabled|AtomicLoadBaseline|NilTracer' -benchmem ./internal/metrics/ ./internal/tracing/ ./internal/flightrec/
+	$(GO) test -run '^$$' -bench 'StatementRecorder' -benchmem ./internal/engine/
+
+# End-to-end smoke of the embedded debug server: launches jitsbench with
+# -debug-addr on a free port and validates /metrics, /debug/health,
+# /debug/queries and /debug/archive with a pure-Go client (no curl). CI
+# runs this target.
+debug-smoke:
+	$(GO) run ./cmd/debugsmoke
 
 # Short live run of the serial-vs-parallel differential fuzzer; the seed
 # corpus alone is replayed by every plain `make test`.

@@ -1,0 +1,173 @@
+// Command debugsmoke is the CI smoke test for the embedded debug server
+// (`make debug-smoke`). It builds nothing itself: it launches jitsbench with
+// -debug-addr on a free port, scrapes the "listening on" line, and validates
+// every debug endpoint while the experiments run:
+//
+//   - /metrics returns a Prometheus text exposition containing the engine's
+//     statement counter
+//   - /debug/health returns JSON with status "ok"
+//   - /debug/queries returns JSON whose records become non-empty once
+//     statements flow
+//   - /debug/archive returns JSON with the histogram list
+//
+// Pure Go — no curl dependency — so it runs identically in CI and locally.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "debugsmoke: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	// A small workload keeps the smoke fast while still exercising the
+	// whole pipeline; -debug-linger keeps the server up after the
+	// experiments finish so slow CI machines cannot race the process exit.
+	cmd := exec.Command("go", "run", "./cmd/jitsbench",
+		"-exp", "oltp", "-queries", "30", "-scale", "0.002",
+		"-debug-addr", "127.0.0.1:0", "-debug-linger", "60s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fatalf("stdout pipe: %v", err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		fatalf("start jitsbench: %v", err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}()
+
+	// Scrape the bound address from jitsbench's banner.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "jitsbench: debug server listening on "); ok {
+				addrCh <- strings.TrimSpace(rest)
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		fatalf("timed out waiting for the debug-server banner")
+	}
+	base := "http://" + addr
+	fmt.Println("debugsmoke: debug server at", base)
+
+	get := func(path string) ([]byte, string) {
+		client := &http.Client{Timeout: 10 * time.Second}
+		resp, err := client.Get(base + path)
+		if err != nil {
+			fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			fatalf("GET %s: read: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return body, resp.Header.Get("Content-Type")
+	}
+
+	// /metrics: Prometheus text exposition with the statement counter family.
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		fatalf("/metrics content type %q, want text/plain", ctype)
+	}
+	for _, want := range []string{"# TYPE engine_statements_total counter", "# HELP "} {
+		if !strings.Contains(string(body), want) {
+			fatalf("/metrics exposition missing %q in:\n%s", want, body)
+		}
+	}
+	fmt.Println("debugsmoke: /metrics OK")
+
+	// /debug/health: JSON, status ok, degradation counters present.
+	body, ctype = get("/debug/health")
+	if !strings.HasPrefix(ctype, "application/json") {
+		fatalf("/debug/health content type %q, want application/json", ctype)
+	}
+	var health struct {
+		Status      string           `json:"status"`
+		Degradation map[string]int64 `json:"degradation"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		fatalf("/debug/health invalid JSON: %v\n%s", err, body)
+	}
+	if health.Status != "ok" {
+		fatalf("/debug/health status %q, want ok", health.Status)
+	}
+	if _, ok := health.Degradation["budget_exhausted"]; !ok {
+		fatalf("/debug/health missing degradation counters: %s", body)
+	}
+	fmt.Println("debugsmoke: /debug/health OK")
+
+	// /debug/queries: JSON; records must become non-empty as the workload
+	// runs (retry — the experiment may still be loading data).
+	var queries struct {
+		Enabled bool              `json:"enabled"`
+		Records []json.RawMessage `json:"records"`
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		body, ctype = get("/debug/queries")
+		if !strings.HasPrefix(ctype, "application/json") {
+			fatalf("/debug/queries content type %q, want application/json", ctype)
+		}
+		if err := json.Unmarshal(body, &queries); err != nil {
+			fatalf("/debug/queries invalid JSON: %v\n%s", err, body)
+		}
+		if !queries.Enabled {
+			fatalf("/debug/queries reports the flight recorder disabled")
+		}
+		if len(queries.Records) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatalf("/debug/queries never produced records")
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	var rec struct {
+		QID  int64  `json:"qid"`
+		SQL  string `json:"sql"`
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(queries.Records[len(queries.Records)-1], &rec); err != nil {
+		fatalf("/debug/queries record shape: %v", err)
+	}
+	if rec.QID == 0 || rec.SQL == "" || rec.Kind == "" {
+		fatalf("/debug/queries record missing fields: %s", queries.Records[len(queries.Records)-1])
+	}
+	fmt.Printf("debugsmoke: /debug/queries OK (%d records)\n", len(queries.Records))
+
+	// /debug/archive: JSON with the histogram list (possibly empty early on).
+	body, _ = get("/debug/archive")
+	var archive struct {
+		Histograms []json.RawMessage `json:"histograms"`
+		Buckets    int               `json:"buckets"`
+	}
+	if err := json.Unmarshal(body, &archive); err != nil {
+		fatalf("/debug/archive invalid JSON: %v\n%s", err, body)
+	}
+	fmt.Printf("debugsmoke: /debug/archive OK (%d histograms, %d buckets)\n", len(archive.Histograms), archive.Buckets)
+
+	fmt.Println("debugsmoke: all endpoints OK")
+}

@@ -6,7 +6,8 @@
 //	jitsbench [-exp all|table2|table3|fig3|fig4|fig5|fig6|oltp|parallel]
 //	          [-scale 0.01] [-queries 840] [-seed 42] [-smax 0.5]
 //	          [-sample 2000] [-csv dir] [-pergroup] [-parallelism 1]
-//	          [-trace file|-] [-metrics]
+//	          [-trace file|-] [-metrics] [-debug-addr host:port]
+//	          [-debug-linger 0s]
 //
 // -csv writes every figure's data as CSV files for plotting; -pergroup
 // charges collection per candidate group (the paper prototype's cost
@@ -25,6 +26,14 @@
 // process-wide metrics registry and prints its Prometheus-style text
 // exposition after the experiments finish. Both are off by default and cost
 // one atomic load per probe when off.
+//
+// -debug-addr starts the embedded debug HTTP server (see
+// internal/debugserver) on the given address (port 0 picks a free port; the
+// bound address is printed as "debug server listening on ..."). It implies
+// -metrics and enables every experiment engine's flight recorder, so
+// /metrics, /debug/archive and /debug/queries have live content while the
+// experiments run. -debug-linger keeps the process (and the server) alive
+// for that long after the experiments finish, for interactive poking.
 package main
 
 import (
@@ -40,6 +49,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/debugserver"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 )
@@ -57,6 +67,8 @@ func main() {
 		par      = flag.Int("parallelism", 1, "intra-query degree of parallelism (1 = serial operators)")
 		traceF   = flag.String("trace", "", `write phase-trace spans to this file ("-" for stderr)`)
 		metricsF = flag.Bool("metrics", false, "enable the metrics registry and print its exposition on exit")
+		debugF   = flag.String("debug-addr", "", "start the embedded debug HTTP server on this address (port 0 picks a free port)")
+		lingerF  = flag.Duration("debug-linger", 0, "keep the process alive this long after the experiments finish (requires -debug-addr)")
 	)
 	flag.Parse()
 	csvDir = *csvDirF
@@ -97,6 +109,29 @@ func main() {
 	opts := experiments.Options{
 		Scale: *scale, Queries: *queries, Seed: *seed, SMax: *smax, SampleSize: *sample,
 		PerGroupSampling: *perGroup, Parallelism: *par, Trace: traceW,
+	}
+
+	if *debugF != "" {
+		// The debug server needs live instruments and flight-recorder
+		// content to expose; each experiment attaches its current engine as
+		// it is constructed.
+		metrics.Enable()
+		srv := debugserver.New(nil)
+		addr, err := srv.Start(*debugF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jitsbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		opts.FlightRecorder = -1 // default ring capacity
+		opts.OnEngine = srv.SetEngine
+		fmt.Printf("jitsbench: debug server listening on %s\n", addr)
+		if *lingerF > 0 {
+			defer func() {
+				fmt.Printf("jitsbench: lingering %s for debug inspection (ctrl-c to stop)\n", *lingerF)
+				time.Sleep(*lingerF)
+			}()
+		}
 	}
 	fmt.Printf("jitsbench: scale=%g queries=%d seed=%d smax=%g sample=%d pergroup=%v parallelism=%d\n\n",
 		opts.Scale, opts.Queries, opts.Seed, opts.SMax, opts.SampleSize, opts.PerGroupSampling, opts.Parallelism)

@@ -37,7 +37,9 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := engine.Config{}
+	// The shell always records statements so SHOW QUERIES / EXPLAIN HISTORY
+	// have something to show.
+	cfg := engine.Config{FlightRecorderCapacity: -1}
 	if *jits {
 		cfg.JITS = core.DefaultConfig()
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/catalog"
@@ -509,6 +510,45 @@ func (a *Archive) AccuracyFor(statKey, table string, preds []qgm.Predicate) (flo
 		return 0, false
 	}
 	return acc, true
+}
+
+// StatSnapshot describes one archived grid histogram for introspection
+// (SHOW STATS, /debug/archive).
+type StatSnapshot struct {
+	Key       string   `json:"key"`   // canonical colgrp key, e.g. "car(make,model)"
+	Table     string   `json:"table"` // owning table parsed from the key
+	Columns   []string `json:"columns"`
+	Dims      int      `json:"dims"`
+	Buckets   int      `json:"buckets"`
+	Merges    int      `json:"merges"`     // maximum-entropy constraints merged in
+	LastUsed  int64    `json:"last_used"`  // logical time the optimizer last consulted it
+	UpdatedAt int64    `json:"updated_at"` // logical time of the last merge (0 = never since load)
+}
+
+// Snapshot returns one StatSnapshot per grid histogram, sorted by key. The
+// exact-match memo is summarized by MemoEntries, not listed here.
+func (a *Archive) Snapshot() []StatSnapshot {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]StatSnapshot, 0, len(a.grids))
+	for key, g := range a.grids {
+		table := key
+		if i := strings.IndexByte(key, '('); i > 0 {
+			table = key[:i]
+		}
+		out = append(out, StatSnapshot{
+			Key:       key,
+			Table:     table,
+			Columns:   append([]string(nil), g.cols...),
+			Dims:      g.hist.Dims(),
+			Buckets:   g.hist.Buckets(),
+			Merges:    g.hist.Merges(),
+			LastUsed:  g.hist.LastUsed(),
+			UpdatedAt: g.hist.UpdatedAt(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // MigrateToCatalog implements the statistics-migration module: the archive's

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/costmodel"
@@ -162,6 +163,12 @@ type QueryStats struct {
 	cards   map[string]int64
 	archive *Archive
 	ts      int64
+
+	// Per-query archive outcome counters (atomic so introspection can read
+	// them regardless of which goroutine consults the stats source). Fresh
+	// selectivities count as neither — they never touched the archive.
+	archiveHits   atomic.Int64
+	archiveMisses atomic.Int64
 }
 
 // GroupSelectivity implements optimizer.StatsSource.
@@ -173,8 +180,22 @@ func (qs *QueryStats) GroupSelectivity(table string, preds []qgm.Predicate) (flo
 	if sel, ok := qs.fresh[key]; ok {
 		return sel, qgm.ColumnGroupKey(table, qgm.GroupColumns(preds)), true
 	}
-	return qs.archive.GroupSelectivity(table, preds, qs.ts)
+	sel, statKey, ok := qs.archive.GroupSelectivity(table, preds, qs.ts)
+	if ok {
+		qs.archiveHits.Add(1)
+	} else {
+		qs.archiveMisses.Add(1)
+	}
+	return sel, statKey, ok
 }
+
+// ArchiveHits reports how many of this query's selectivity lookups were
+// answered by the shared archive.
+func (qs *QueryStats) ArchiveHits() int { return int(qs.archiveHits.Load()) }
+
+// ArchiveMisses reports how many of this query's selectivity lookups the
+// archive could not answer (the optimizer fell back to catalog statistics).
+func (qs *QueryStats) ArchiveMisses() int { return int(qs.archiveMisses.Load()) }
 
 // Cardinality implements optimizer.StatsSource.
 func (qs *QueryStats) Cardinality(table string) (int64, bool) {

@@ -1,0 +1,193 @@
+package debugserver_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/debugserver"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+)
+
+func startedServer(t *testing.T, eng *engine.Engine) (*debugserver.Server, string) {
+	t.Helper()
+	srv := debugserver.New(eng)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, "http://" + addr
+}
+
+func testEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	cfg := engine.Config{FlightRecorderCapacity: -1}
+	cfg.JITS.Enabled = true
+	cfg.JITS.SMax = 0.5
+	cfg.JITS.SampleSize = 100
+	e := engine.New(cfg)
+	stmts := []string{
+		`CREATE TABLE t (id INT, grp STRING)`,
+		`INSERT INTO t VALUES (1, 'a'), (2, 'a'), (3, 'b'), (4, 'b'), (5, 'c')`,
+		`SELECT id FROM t WHERE grp = 'a'`,
+	}
+	for _, sql := range stmts {
+		if _, err := e.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func get(t *testing.T, url string) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), body
+}
+
+func TestMetricsEndpointServesExposition(t *testing.T) {
+	metrics.Enable()
+	defer metrics.Disable()
+	e := testEngine(t)
+	_, base := startedServer(t, e)
+	code, ctype, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("content type %q", ctype)
+	}
+	if !strings.Contains(string(body), "# TYPE engine_statements_total counter") {
+		t.Fatalf("exposition missing statement counter:\n%s", body)
+	}
+}
+
+func TestQueriesEndpoint(t *testing.T) {
+	e := testEngine(t)
+	_, base := startedServer(t, e)
+	code, ctype, body := get(t, base+"/debug/queries")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("status %d, content type %q", code, ctype)
+	}
+	var got struct {
+		Enabled  bool `json:"enabled"`
+		Capacity int  `json:"capacity"`
+		Total    int  `json:"total"`
+		Records  []struct {
+			QID  int64  `json:"qid"`
+			SQL  string `json:"sql"`
+			Kind string `json:"kind"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if !got.Enabled || got.Total != 3 || len(got.Records) != 3 {
+		t.Fatalf("enabled=%v total=%d records=%d, want enabled, 3, 3", got.Enabled, got.Total, len(got.Records))
+	}
+	if got.Records[2].Kind != "select" || got.Records[2].SQL == "" {
+		t.Fatalf("newest record %+v, want the SELECT", got.Records[2])
+	}
+	// ?last= caps the slice; a bad value is a 400.
+	code, _, body = get(t, base+"/debug/queries?last=1")
+	if code != http.StatusOK {
+		t.Fatalf("?last=1 status %d", code)
+	}
+	if err := json.Unmarshal(body, &got); err != nil || len(got.Records) != 1 {
+		t.Fatalf("?last=1 returned %d records (err %v)", len(got.Records), err)
+	}
+	if code, _, _ = get(t, base+"/debug/queries?last=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("?last=bogus status %d, want 400", code)
+	}
+}
+
+func TestArchiveEndpoint(t *testing.T) {
+	e := testEngine(t)
+	_, base := startedServer(t, e)
+	code, _, body := get(t, base+"/debug/archive")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var got struct {
+		Histograms []struct {
+			Key     string `json:"key"`
+			Table   string `json:"table"`
+			Buckets int    `json:"buckets"`
+		} `json:"histograms"`
+		Buckets     int `json:"buckets"`
+		MemoEntries int `json:"memo_entries"`
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+}
+
+func TestHealthEndpointTransitions(t *testing.T) {
+	e := testEngine(t)
+	_, base := startedServer(t, e)
+	var got struct {
+		Status      string           `json:"status"`
+		Degradation map[string]int64 `json:"degradation"`
+	}
+	_, _, body := get(t, base+"/debug/health")
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != "ok" {
+		t.Fatalf("status %q, want ok", got.Status)
+	}
+	for _, key := range []string{"cancelled", "budget_exhausted", "sampling_error", "panic"} {
+		if _, present := got.Degradation[key]; !present {
+			t.Fatalf("degradation counter %q missing: %s", key, body)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, body = get(t, base+"/debug/health")
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != "closed" {
+		t.Fatalf("status after Close %q, want closed", got.Status)
+	}
+}
+
+func TestNoEngineAttached(t *testing.T) {
+	srv, base := startedServer(t, nil)
+	for _, path := range []string{"/debug/archive", "/debug/queries"} {
+		code, _, _ := get(t, base+path)
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("GET %s with no engine: status %d, want 503", path, code)
+		}
+	}
+	_, _, body := get(t, base+"/debug/health")
+	if !strings.Contains(string(body), "no-engine") {
+		t.Fatalf("health with no engine = %s", body)
+	}
+	// Attaching an engine brings the endpoints up without a restart.
+	srv.SetEngine(testEngine(t))
+	if code, _, _ := get(t, base+"/debug/queries"); code != http.StatusOK {
+		t.Fatalf("after SetEngine: status %d", code)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	_, base := startedServer(t, testEngine(t))
+	code, _, body := get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: status %d body %.80s", code, body)
+	}
+}

@@ -23,7 +23,6 @@ func coerce(d value.Datum, kind value.Kind) value.Datum {
 // execInsert appends rows; the workload's update stream flows through here
 // and feeds the UDI counters the sensitivity analysis watches.
 func (e *Engine) execInsert(stmt *sqlparser.InsertStmt) (*Result, error) {
-	e.tick()
 	tbl, ok := e.db.Table(stmt.Table)
 	if !ok {
 		return nil, fmt.Errorf("engine: table %q does not exist", stmt.Table)
@@ -88,7 +87,6 @@ func resolveWhere(tbl *storage.Table, where []sqlparser.Expr) (func(row []value.
 }
 
 func (e *Engine) execUpdate(stmt *sqlparser.UpdateStmt) (*Result, error) {
-	e.tick()
 	tbl, ok := e.db.Table(stmt.Table)
 	if !ok {
 		return nil, fmt.Errorf("engine: table %q does not exist", stmt.Table)
@@ -124,7 +122,6 @@ func (e *Engine) execUpdate(stmt *sqlparser.UpdateStmt) (*Result, error) {
 }
 
 func (e *Engine) execDelete(stmt *sqlparser.DeleteStmt) (*Result, error) {
-	e.tick()
 	tbl, ok := e.db.Table(stmt.Table)
 	if !ok {
 		return nil, fmt.Errorf("engine: table %q does not exist", stmt.Table)
@@ -140,7 +137,6 @@ func (e *Engine) execDelete(stmt *sqlparser.DeleteStmt) (*Result, error) {
 }
 
 func (e *Engine) execCreateTable(stmt *sqlparser.CreateTableStmt) (*Result, error) {
-	e.tick()
 	cols := make([]storage.Column, len(stmt.Columns))
 	for i, c := range stmt.Columns {
 		cols[i] = storage.Column{Name: c.Name, Kind: c.Kind}
@@ -156,7 +152,6 @@ func (e *Engine) execCreateTable(stmt *sqlparser.CreateTableStmt) (*Result, erro
 }
 
 func (e *Engine) execCreateIndex(stmt *sqlparser.CreateIndexStmt) (*Result, error) {
-	e.tick()
 	tbl, ok := e.db.Table(stmt.Table)
 	if !ok {
 		return nil, fmt.Errorf("engine: table %q does not exist", stmt.Table)

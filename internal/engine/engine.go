@@ -30,6 +30,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/executor"
 	"repro/internal/feedback"
+	"repro/internal/flightrec"
 	"repro/internal/index"
 	"repro/internal/optimizer"
 	"repro/internal/qgm"
@@ -77,6 +78,12 @@ type Config struct {
 	// execution at the next morsel boundary (the statement errors with
 	// context.DeadlineExceeded). Per-query override: ExecOptions.Timeout.
 	StatementTimeout time.Duration
+	// FlightRecorderCapacity enables the statement flight recorder with a
+	// ring of that many records (SHOW QUERIES / EXPLAIN HISTORY read it).
+	// 0 leaves recording off — the recorder still exists, so it can be
+	// enabled later through Recorder(), but statements pay only one atomic
+	// load. Negative values select flightrec.DefaultCapacity.
+	FlightRecorderCapacity int
 }
 
 // ExecOptions tune one Exec call — the per-query session knobs.
@@ -121,6 +128,7 @@ type Engine struct {
 	migrateEvery int
 	selectCount  int64
 	tracer       *tracing.Tracer
+	recorder     *flightrec.Recorder
 	parallelism  int
 	stmtTimeout  time.Duration
 	closed       atomic.Bool
@@ -150,6 +158,13 @@ func New(cfg Config) *Engine {
 	jits := core.New(cfg.JITS, hist, cat)
 	jits.BindIndexes(ixs)
 	jits.BindTracer(tracer)
+	recorder := flightrec.New(cfg.FlightRecorderCapacity)
+	// The recorder observes tracer spans for per-phase timings; the observer
+	// is inert (one atomic load per span site) until the recorder is enabled.
+	tracer.SetObserver(recorder)
+	if cfg.FlightRecorderCapacity != 0 {
+		recorder.Enable()
+	}
 	e := &Engine{
 		db:           storage.NewDatabase(),
 		cat:          cat,
@@ -159,6 +174,7 @@ func New(cfg Config) *Engine {
 		weights:      w,
 		migrateEvery: cfg.MigrateEvery,
 		tracer:       tracer,
+		recorder:     recorder,
 		parallelism:  cfg.Parallelism,
 		stmtTimeout:  cfg.StatementTimeout,
 	}
@@ -212,6 +228,15 @@ func (e *Engine) tracef(format string, args ...any) {
 // Tracer exposes the engine's phase tracer (tests and tools may emit their
 // own lines through it; it is always non-nil).
 func (e *Engine) Tracer() *tracing.Tracer { return e.tracer }
+
+// Recorder exposes the statement flight recorder. Always non-nil; it records
+// only while enabled (Config.FlightRecorderCapacity != 0, or an explicit
+// Enable). Safe to read concurrently with statements and across Close.
+func (e *Engine) Recorder() *flightrec.Recorder { return e.recorder }
+
+// Closed reports whether Close has been called (the debug server's health
+// endpoint reads this).
+func (e *Engine) Closed() bool { return e.closed.Load() }
 
 // TableSchema implements qgm.SchemaResolver.
 func (e *Engine) TableSchema(name string) (*storage.Schema, bool) {
@@ -304,43 +329,96 @@ func (e *Engine) ExecWithContext(ctx context.Context, sql string, opts ExecOptio
 		stmtErrors.Inc()
 		return nil, err
 	}
+	// One logical-clock tick per parsed statement; the timestamp doubles as
+	// the statement's qid in traces and the flight recorder. Parse errors do
+	// not consume a tick.
+	ts := e.tick()
+	var rec *flightrec.Record
+	if e.recorder.Enabled() {
+		rec = e.recorder.Begin(ts, sql)
+	}
 	var res *Result
+	var kind string
 	switch s := stmt.(type) {
 	case *sqlparser.SelectStmt:
+		kind = "select"
 		stmtSelect.Inc()
-		res, err = e.execSelect(ctx, s, sql, modeExecute, dop)
+		res, err = e.execSelect(ctx, s, sql, modeExecute, dop, ts, rec)
 	case *sqlparser.ExplainStmt:
 		mode := modeExplain
 		if s.Analyze {
+			kind = "explain_analyze"
 			mode = modeExplainAnalyze
 			stmtExplainAnalyze.Inc()
 		} else {
+			kind = "explain"
 			stmtExplain.Inc()
 		}
-		res, err = e.execSelect(ctx, s.Select, sql, mode, dop)
+		res, err = e.execSelect(ctx, s.Select, sql, mode, dop, ts, rec)
+	case *sqlparser.ShowStmt:
+		switch s.Kind {
+		case sqlparser.ShowStats:
+			kind = "show_stats"
+			stmtShowStats.Inc()
+			res, err = e.execShowStats(ts)
+		case sqlparser.ShowQueries:
+			kind = "show_queries"
+			stmtShowQueries.Inc()
+			res, err = e.execShowQueries(s.Last)
+		case sqlparser.ShowMetrics:
+			kind = "show_metrics"
+			stmtShowMetrics.Inc()
+			res, err = e.execShowMetrics()
+		default:
+			err = fmt.Errorf("engine: unsupported SHOW %v", s.Kind)
+		}
+	case *sqlparser.ExplainHistoryStmt:
+		kind = "explain_history"
+		stmtExplainHistory.Inc()
+		res, err = e.execExplainHistory(s.QID)
 	case *sqlparser.InsertStmt:
+		kind = "dml"
 		stmtDML.Inc()
 		res, err = e.execInsert(s)
 	case *sqlparser.UpdateStmt:
+		kind = "dml"
 		stmtDML.Inc()
 		res, err = e.execUpdate(s)
 	case *sqlparser.DeleteStmt:
+		kind = "dml"
 		stmtDML.Inc()
 		res, err = e.execDelete(s)
 	case *sqlparser.CreateTableStmt:
+		kind = "ddl"
 		stmtDDL.Inc()
 		res, err = e.execCreateTable(s)
 	case *sqlparser.CreateIndexStmt:
+		kind = "ddl"
 		stmtDDL.Inc()
 		res, err = e.execCreateIndex(s)
 	default:
+		e.recorder.Abort(rec)
 		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+	wall := time.Since(start)
+	if rec != nil {
+		rec.Kind = kind
+		rec.Wall = wall
+		if err != nil {
+			rec.Err = err.Error()
+		} else if res != nil {
+			rec.Rows = len(res.Rows)
+			rec.RowsAffected = res.RowsAffected
+			rec.CompileSeconds = res.Metrics.CompileSeconds
+			rec.ExecSeconds = res.Metrics.ExecSeconds
+		}
+		e.recorder.Commit(rec)
 	}
 	if err != nil {
 		stmtErrors.Inc()
 		return nil, err
 	}
-	stmtWall.Observe(time.Since(start).Seconds())
+	stmtWall.Observe(wall.Seconds())
 	return res, nil
 }
 
@@ -431,8 +509,7 @@ func analyzeAnnotator(stats *executor.ExecStats, prep *core.PrepareReport) optim
 // rows, one per line. modeExplainAnalyze runs the full pipeline (execution,
 // feedback, reactive corrections, migration) and returns the plan text
 // annotated with each operator's actual rows, metered units and wall time.
-func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql string, mode execMode, dop int) (*Result, error) {
-	ts := e.tick()
+func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql string, mode execMode, dop int, ts int64, rec *flightrec.Record) (*Result, error) {
 	var compileMeter, execMeter costmodel.Meter
 
 	q, err := qgm.Build(stmt, e)
@@ -454,6 +531,21 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 	prepSpan.End()
 	if err != nil {
 		return nil, err
+	}
+	if rec != nil && prep != nil {
+		rec.Degraded = prep.Degraded
+		for _, tr := range prep.Tables {
+			rec.Tables = append(rec.Tables, flightrec.TableSample{
+				Table:      tr.Table,
+				Collected:  tr.Collected,
+				SampleRows: tr.SampleRows,
+				Degraded:   tr.Degraded,
+				Reason:     tr.DegradeReason,
+			})
+			if tr.Degraded {
+				rec.DegradeCauses = append(rec.DegradeCauses, tr.Table+": "+tr.DegradeReason)
+			}
+		}
 	}
 	if e.tracer.Enabled() && prep != nil {
 		for _, tr := range prep.Tables {
@@ -482,11 +574,12 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 		Meter:   &compileMeter,
 	}
 
-	// EXPLAIN ANALYZE collects per-plan-node actuals from the executor;
-	// stats stays nil otherwise, keeping the normal path free of the
-	// per-operator meter and clock reads.
+	// EXPLAIN ANALYZE — and any executing statement the flight recorder is
+	// capturing — collects per-plan-node actuals from the executor; stats
+	// stays nil otherwise, keeping the normal path free of the per-operator
+	// meter and clock reads.
 	var stats *executor.ExecStats
-	if mode == modeExplainAnalyze {
+	if mode == modeExplainAnalyze || (rec != nil && mode != modeExplain) {
 		stats = executor.NewExecStats()
 	}
 
@@ -549,6 +642,13 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 
 	if mode == modeExplain {
 		explain := renderPlan(nil)
+		if rec != nil {
+			rec.Plan = explain
+			if qstats != nil {
+				rec.ArchiveHits = qstats.ArchiveHits()
+				rec.ArchiveMisses = qstats.ArchiveMisses()
+			}
+		}
 		return &Result{
 			Columns: []string{"plan"},
 			Rows:    planRows(explain),
@@ -583,6 +683,10 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 			ActualSel: a.ActualSelectivity(),
 			BaseCard:  int64(a.BaseRows),
 		})
+		if rec != nil {
+			rec.ErrorFactors = append(rec.ErrorFactors,
+				feedback.ErrorFactor(a.Trace.EstSel, a.ActualSelectivity(), int64(a.BaseRows)))
+		}
 		e.tracef("q%d feedback %s est=%.5f actual=%.5f stats=%v",
 			ts, a.Trace.ColGrp, a.Trace.EstSel, a.ActualSelectivity(), a.Trace.StatList)
 	}
@@ -619,6 +723,36 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 			mergeSpan := e.tracer.Start(ts, tracing.PhaseArchiveMerge)
 			n := e.jits.MigrateToCatalog(ts)
 			mergeSpan.Attr("migrated", n).End()
+		}
+	}
+
+	// Flight-recorder capture: the annotated plan (the same rendering
+	// EXPLAIN ANALYZE produces, replayed later by EXPLAIN HISTORY) and the
+	// per-operator estimate/actual pairs with their q-error.
+	if rec != nil {
+		rec.Plan = renderPlan(analyzeAnnotator(stats, prep))
+		if qstats != nil {
+			rec.ArchiveHits = qstats.ArchiveHits()
+			rec.ArchiveMisses = qstats.ArchiveMisses()
+		}
+		for _, root := range append([]optimizer.Node{plan}, subPlanNodes...) {
+			optimizer.Walk(root, func(n optimizer.Node) {
+				op := flightrec.OperatorStats{EstRows: n.Rows()}
+				switch t := n.(type) {
+				case *optimizer.Scan:
+					op.Op = t.Describe()
+				case *optimizer.Join:
+					op.Op = t.Describe()
+				}
+				if st, ok := stats.Lookup(n); ok {
+					op.ActRows = st.Rows
+					op.QError = flightrec.QError(op.EstRows, op.ActRows)
+					if op.QError > rec.WorstQError {
+						rec.WorstQError = op.QError
+					}
+				}
+				rec.Operators = append(rec.Operators, op)
+			})
 		}
 	}
 

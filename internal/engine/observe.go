@@ -20,6 +20,10 @@ var (
 	stmtSelect         = stmtCount.With("select")
 	stmtExplain        = stmtCount.With("explain")
 	stmtExplainAnalyze = stmtCount.With("explain_analyze")
+	stmtExplainHistory = stmtCount.With("explain_history")
+	stmtShowStats      = stmtCount.With("show_stats")
+	stmtShowQueries    = stmtCount.With("show_queries")
+	stmtShowMetrics    = stmtCount.With("show_metrics")
 	stmtDML            = stmtCount.With("dml")
 	stmtDDL            = stmtCount.With("ddl")
 	stmtErrors         = metrics.Default().Counter(

@@ -1,0 +1,110 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/faultinject"
+	"repro/internal/flightrec"
+	"repro/internal/workload"
+)
+
+// TestChaosPostMortemSnapshots is the flight recorder's chaos contract: a
+// run with exactly one armed fault (Limit: 1) leaves exactly one post-mortem
+// snapshot, and that snapshot names the injected fault class — either as the
+// statement error (execution faults) or as a degradation cause (sampling
+// faults). Per fault class.
+func TestChaosPostMortemSnapshots(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos replay is slow")
+	}
+	classes := []struct {
+		name  string
+		point faultinject.Point
+		// matches reports whether the snapshot is attributable to the class.
+		matches func(rec flightrec.Record) bool
+	}{
+		{
+			name:  "storage-scan-error",
+			point: faultinject.StorageScan,
+			matches: func(rec flightrec.Record) bool {
+				return strings.Contains(rec.Err, string(faultinject.StorageScan))
+			},
+		},
+		{
+			name:  "sampling-degradation",
+			point: faultinject.SamplingRows,
+			matches: func(rec flightrec.Record) bool {
+				if !rec.Degraded || rec.Err != "" {
+					return false
+				}
+				for _, cause := range rec.DegradeCauses {
+					if strings.Contains(cause, "sampling error") &&
+						strings.Contains(cause, string(faultinject.SamplingRows)) {
+						return true
+					}
+				}
+				return false
+			},
+		},
+		{
+			name:  "worker-panic",
+			point: faultinject.WorkerPanic,
+			matches: func(rec flightrec.Record) bool {
+				// A worker panic surfaces as a clean statement error when it
+				// hits the executor pool, or as a recovered-panic degradation
+				// when it hits the sampling pool.
+				if strings.Contains(rec.Err, string(faultinject.WorkerPanic)) {
+					return true
+				}
+				for _, cause := range rec.DegradeCauses {
+					if strings.Contains(cause, "recovered panic") {
+						return true
+					}
+				}
+				return false
+			},
+		},
+	}
+	for _, c := range classes {
+		t.Run(c.name, func(t *testing.T) {
+			faultinject.Reset()
+			t.Cleanup(faultinject.Reset)
+
+			cfg := engine.Config{Parallelism: 4, FlightRecorderCapacity: -1}
+			cfg.JITS.Enabled = true
+			cfg.JITS.SMax = 0.5
+			cfg.JITS.SampleSize = 800
+			cfg.JITS.Seed = 7
+			e := engine.New(cfg)
+			d, err := workload.Load(e, workload.Spec{Scale: 0.004, Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Arm after the load so the single fire lands on a query, then
+			// run enough queries that the fault is guaranteed to have fired
+			// and several clean statements follow it.
+			if err := faultinject.Arm(c.point, faultinject.Spec{Every: 1, Limit: 1}); err != nil {
+				t.Fatal(err)
+			}
+			for _, st := range d.Queries(20, int64(chaosSeed)) {
+				_, _ = e.Exec(st.SQL) // the one faulted statement may error
+			}
+			if fired := faultinject.Fired(c.point); fired != 1 {
+				t.Fatalf("%s fired %d times, want exactly 1 (Limit: 1)", c.point, fired)
+			}
+			pms := e.Recorder().PostMortems()
+			if len(pms) != 1 {
+				for _, pm := range pms {
+					t.Logf("post-mortem q%d err=%q degraded=%v causes=%v", pm.QID, pm.Err, pm.Degraded, pm.DegradeCauses)
+				}
+				t.Fatalf("%d post-mortem snapshots, want exactly 1", len(pms))
+			}
+			if !c.matches(pms[0]) {
+				t.Fatalf("post-mortem does not name the injected fault class %s:\nerr=%q degraded=%v causes=%v",
+					c.point, pms[0].Err, pms[0].Degraded, pms[0].DegradeCauses)
+			}
+		})
+	}
+}

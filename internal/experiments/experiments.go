@@ -80,6 +80,15 @@ type Options struct {
 	// share the writer; the tracer serializes lines, so the interleaved
 	// stream stays well-formed. jitsbench plumbs its -trace flag here.
 	Trace io.Writer
+	// FlightRecorder, when non-zero, enables every constructed engine's
+	// statement flight recorder with a ring of that many records (negative
+	// selects flightrec.DefaultCapacity). jitsbench enables it whenever the
+	// debug server is on, so /debug/queries and SHOW QUERIES have content.
+	FlightRecorder int
+	// OnEngine, when non-nil, observes every engine an experiment
+	// constructs, immediately after creation. jitsbench attaches the
+	// current engine to the debug server here.
+	OnEngine func(*engine.Engine)
 }
 
 // DefaultOptions mirrors the paper: the 840-query workload at 1/100 of the
@@ -93,6 +102,19 @@ func DefaultOptions() Options {
 // paper's Figure 4 shows early queries paying, later queries winning).
 func QuickOptions() Options {
 	return Options{Scale: 0.004, Queries: 200, Seed: 42, SMax: 0.5, SampleSize: 800}
+}
+
+// newEngine constructs one experiment engine from cfg with the Options'
+// cross-cutting observability knobs applied — every experiment creates its
+// engines through here so the flight recorder and OnEngine hook reach all
+// of them.
+func (o Options) newEngine(cfg engine.Config) *engine.Engine {
+	cfg.FlightRecorderCapacity = o.FlightRecorder
+	e := engine.New(cfg)
+	if o.OnEngine != nil {
+		o.OnEngine(e)
+	}
+	return e
 }
 
 func (o Options) jitsConfig() core.Config {
@@ -116,7 +138,7 @@ type Table2Row struct {
 // Table2 generates the dataset and reports the table sizes next to the
 // paper's (Table 2); the ratios must match, the absolute counts are scaled.
 func Table2(opts Options) ([]Table2Row, error) {
-	e := engine.New(engine.Config{Trace: opts.Trace})
+	e := opts.newEngine(engine.Config{Trace: opts.Trace})
 	d, err := workload.Load(e, workload.Spec{Scale: opts.Scale, Seed: opts.Seed})
 	if err != nil {
 		return nil, err
@@ -168,7 +190,7 @@ func Table3(opts Options) ([]Table3Row, error) {
 			cfg.JITS = opts.jitsConfig()
 			cfg.JITS.ForceCollect = true
 		}
-		e := engine.New(cfg)
+		e := opts.newEngine(cfg)
 		if _, err := workload.Load(e, workload.Spec{Scale: opts.Scale, Seed: opts.Seed}); err != nil {
 			return nil, err
 		}
@@ -217,7 +239,7 @@ func RunWorkload(setting Setting, opts Options) ([]QueryTiming, error) {
 	if setting == SettingReactive {
 		cfg.ReactiveCorrections = true
 	}
-	e := engine.New(cfg)
+	e := opts.newEngine(cfg)
 	d, err := workload.Load(e, workload.Spec{Scale: opts.Scale, Seed: opts.Seed})
 	if err != nil {
 		return nil, err
@@ -420,7 +442,7 @@ func OLTP(opts Options) ([]OLTPResult, error) {
 	}
 	var out []OLTPResult
 	for _, mode := range modes {
-		e := engine.New(mode.build())
+		e := opts.newEngine(mode.build())
 		d, err := workload.Load(e, workload.Spec{Scale: opts.Scale, Seed: opts.Seed})
 		if err != nil {
 			return nil, err
@@ -518,7 +540,7 @@ func ParallelSpeedup(opts Options, workers []int) ([]SpeedupRow, error) {
 	var baselineSim float64
 	for _, dop := range workers {
 		cfg := engine.Config{Parallelism: dop, JITS: opts.jitsConfig(), Trace: opts.Trace}
-		e := engine.New(cfg)
+		e := opts.newEngine(cfg)
 		d, err := workload.Load(e, workload.Spec{Scale: opts.Scale, Seed: opts.Seed})
 		if err != nil {
 			return nil, err

@@ -128,6 +128,26 @@ func (h *History) EntriesUsing(statKey string) []Entry {
 	return out
 }
 
+// LastErrorFactorFor returns the EWMA error factor of the best-supported
+// history entry whose statlist contains the given statistic key (highest
+// observation count, ties broken by the canonical entry order). The
+// introspection surface (SHOW STATS) uses it to report how honestly each
+// archived statistic has been estimating. ok is false when no entry uses
+// the statistic.
+func (h *History) LastErrorFactorFor(statKey string) (ef float64, ok bool) {
+	entries := h.EntriesUsing(statKey)
+	var best *Entry
+	for i := range entries {
+		if best == nil || entries[i].Count > best.Count {
+			best = &entries[i]
+		}
+	}
+	if best == nil {
+		return 0, false
+	}
+	return best.ErrorFactor, true
+}
+
 // TotalCount returns the total number of recorded observations — the F
 // denominator in Algorithm 4's usefulness score.
 func (h *History) TotalCount() int64 {

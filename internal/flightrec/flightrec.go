@@ -1,0 +1,338 @@
+// Package flightrec is the engine's statement flight recorder: a fixed-size
+// ring buffer that captures, for every executed statement, the compact plan,
+// per-operator estimated vs. actual cardinalities with their derived
+// q-error, the JITS decisions that shaped the plan (tables sampled, archive
+// hits/misses, degradation causes), the feedback error factors the statement
+// produced, and the per-phase wall timings emitted by the engine's tracer.
+//
+// The recorder follows the repo's telemetry discipline: it must be free when
+// nobody is looking. Every probe (Begin, ObserveSpan, Commit) returns after
+// ONE atomic load while the recorder is disabled. When enabled, Commit is an
+// O(1) ring append under a short mutex; readers (SHOW QUERIES, the debug
+// server) take the same mutex and copy out, so concurrent readers never
+// observe a half-written record and never block writers for longer than one
+// slot copy. Memory is bounded by the ring capacity plus a small post-mortem
+// buffer: a statement that errors, or whose JITS preparation degraded (the
+// signature a chaos fault leaves), is snapshotted into the post-mortem ring
+// for later inspection even after the main ring has wrapped past it.
+package flightrec
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default ring capacities.
+const (
+	DefaultCapacity           = 256
+	DefaultPostMortemCapacity = 32
+)
+
+// OperatorStats is one plan operator's estimated vs. actual cardinality.
+type OperatorStats struct {
+	Op      string  `json:"op"`       // operator description, e.g. "TableScan car as c"
+	EstRows float64 `json:"est_rows"` // optimizer estimate
+	ActRows float64 `json:"act_rows"` // rows the operator actually emitted
+	QError  float64 `json:"q_error"`  // QError(EstRows, ActRows)
+}
+
+// PhaseTiming is one pipeline phase's wall-clock duration, as reported by
+// the engine's tracer spans (parse/jits.prepare/jits.sample/optimize/
+// execute/feedback/archive.merge).
+type PhaseTiming struct {
+	Phase string        `json:"phase"`
+	Wall  time.Duration `json:"wall_ns"`
+}
+
+// TableSample records one table's JITS collection outcome for a statement.
+type TableSample struct {
+	Table      string `json:"table"`
+	Collected  bool   `json:"collected"`
+	SampleRows int    `json:"sample_rows"`
+	Degraded   bool   `json:"degraded"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// Record is one statement's flight-recorder entry. A record is built by the
+// engine while the statement runs and becomes immutable once Commit stores
+// it; readers receive shallow copies and must not mutate the slices.
+type Record struct {
+	QID  int64  `json:"qid"` // engine logical-clock timestamp
+	SQL  string `json:"sql"`
+	Kind string `json:"kind"` // statement-kind label, matching engine_statements_total
+
+	Start time.Time     `json:"start"`
+	Wall  time.Duration `json:"wall_ns"`
+
+	// Simulated cost-model split (engine.Metrics).
+	CompileSeconds float64 `json:"compile_s"`
+	ExecSeconds    float64 `json:"exec_s"`
+
+	Rows         int `json:"rows"`
+	RowsAffected int `json:"rows_affected"`
+
+	// Plan is the annotated (EXPLAIN ANALYZE-style) plan text with actuals;
+	// EXPLAIN HISTORY replays it. Empty for statements without a plan.
+	Plan string `json:"plan,omitempty"`
+
+	Operators   []OperatorStats `json:"operators,omitempty"`
+	WorstQError float64         `json:"worst_q_error"`
+
+	// JITS decisions.
+	Tables        []TableSample `json:"tables,omitempty"`
+	ArchiveHits   int           `json:"archive_hits"`
+	ArchiveMisses int           `json:"archive_misses"`
+	Degraded      bool          `json:"degraded"`
+	DegradeCauses []string      `json:"degrade_causes,omitempty"`
+
+	// ErrorFactors are the feedback loop's estimated/actual error factors
+	// observed while this statement executed.
+	ErrorFactors []float64 `json:"error_factors,omitempty"`
+
+	// Err is the statement's error text; empty on success.
+	Err string `json:"error,omitempty"`
+
+	Phases []PhaseTiming `json:"phases,omitempty"`
+}
+
+// QError is the standard cardinality-estimation quality metric:
+// max(est, act) / max(1, min(est, act)). A perfect estimate scores 1; the
+// max(1, ·) floor keeps sub-row estimates from exploding the ratio.
+func QError(est, act float64) float64 {
+	hi, lo := est, act
+	if lo > hi {
+		hi, lo = lo, hi
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	den := lo
+	if den < 1 {
+		den = 1
+	}
+	return hi / den
+}
+
+// Recorder is the ring buffer. Obtain one from New; the zero value is inert.
+type Recorder struct {
+	enabled atomic.Bool
+
+	mu      sync.Mutex
+	ring    []*Record // capacity-sized circular buffer
+	next    int       // next slot to overwrite
+	filled  int       // number of live slots (≤ cap)
+	total   uint64    // records ever committed
+	pending map[int64]*Record
+
+	pm       []*Record // post-mortem ring, same mechanics
+	pmNext   int
+	pmFilled int
+	pmCap    int
+}
+
+// New returns a disabled recorder with the given ring capacity (≤ 0 selects
+// DefaultCapacity).
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{
+		ring:    make([]*Record, capacity),
+		pending: make(map[int64]*Record),
+		pm:      make([]*Record, DefaultPostMortemCapacity),
+		pmCap:   DefaultPostMortemCapacity,
+	}
+}
+
+// Enable turns recording on.
+func (r *Recorder) Enable() {
+	if r != nil {
+		r.enabled.Store(true)
+	}
+}
+
+// Disable turns recording off. In-flight statements that already called
+// Begin still commit; new statements skip recording entirely.
+func (r *Recorder) Disable() {
+	if r != nil {
+		r.enabled.Store(false)
+	}
+}
+
+// Enabled reports whether the recorder is capturing. Nil-safe; this is the
+// one-atomic-load fast path every probe takes first.
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// Active implements tracing.SpanObserver's activity gate: tracer spans are
+// materialized for the recorder only while it is enabled.
+func (r *Recorder) Active() bool { return r.Enabled() }
+
+// Capacity returns the ring size.
+func (r *Recorder) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.ring)
+}
+
+// Begin opens a pending record for statement qid. The returned record is
+// owned by the calling statement until Commit; the recorder only touches it
+// from ObserveSpan, which appends phase timings. Returns nil when disabled.
+func (r *Recorder) Begin(qid int64, sql string) *Record {
+	if !r.Enabled() {
+		return nil
+	}
+	rec := &Record{QID: qid, SQL: sql, Start: time.Now()}
+	r.mu.Lock()
+	r.pending[qid] = rec
+	r.mu.Unlock()
+	return rec
+}
+
+// ObserveSpan implements tracing.SpanObserver: phase timings emitted by the
+// engine's tracer are routed to the statement's pending record by qid.
+// Spans for unknown statements (qid 0 parse spans, disabled statements) are
+// dropped.
+func (r *Recorder) ObserveSpan(qid int64, phase string, wall time.Duration) {
+	if !r.Enabled() || qid == 0 {
+		return
+	}
+	r.mu.Lock()
+	if rec, ok := r.pending[qid]; ok {
+		rec.Phases = append(rec.Phases, PhaseTiming{Phase: phase, Wall: wall})
+	}
+	r.mu.Unlock()
+}
+
+// Commit finalizes a record begun with Begin: it is pushed into the ring
+// (O(1)), and — when the statement errored or its preparation degraded — a
+// post-mortem snapshot is retained in the bounded post-mortem buffer. A nil
+// record (disabled Begin) is ignored.
+func (r *Recorder) Commit(rec *Record) {
+	if r == nil || rec == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.pending, rec.QID)
+	r.ring[r.next] = rec
+	r.next = (r.next + 1) % len(r.ring)
+	if r.filled < len(r.ring) {
+		r.filled++
+	}
+	r.total++
+	if rec.Err != "" || rec.Degraded {
+		r.pm[r.pmNext] = rec
+		r.pmNext = (r.pmNext + 1) % r.pmCap
+		if r.pmFilled < r.pmCap {
+			r.pmFilled++
+		}
+	}
+}
+
+// Abort drops a pending record without committing it (used if a statement's
+// bookkeeping is abandoned). Safe on nil records.
+func (r *Recorder) Abort(rec *Record) {
+	if r == nil || rec == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.pending, rec.QID)
+	r.mu.Unlock()
+}
+
+// Total returns the number of records ever committed (including ones the
+// ring has since overwritten).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Len returns the number of live records in the ring.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.filled
+}
+
+// Last returns shallow copies of the most recent n records, oldest first.
+// n ≤ 0 returns everything live. Safe to call concurrently with writers.
+func (r *Recorder) Last(n int) []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return copyRing(r.ring, r.next, r.filled, n)
+}
+
+// Get returns the live record with the given qid, if the ring still holds it.
+func (r *Recorder) Get(qid int64) (Record, bool) {
+	if r == nil {
+		return Record{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 0; i < r.filled; i++ {
+		idx := (r.next - 1 - i + len(r.ring)) % len(r.ring)
+		if rec := r.ring[idx]; rec != nil && rec.QID == qid {
+			return *rec, true
+		}
+	}
+	return Record{}, false
+}
+
+// PostMortems returns shallow copies of the retained post-mortem snapshots,
+// oldest first.
+func (r *Recorder) PostMortems() []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return copyRing(r.pm, r.pmNext, r.pmFilled, 0)
+}
+
+// Reset drops all live records, post-mortems and pending state; capacity and
+// the enabled flag are preserved.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.ring {
+		r.ring[i] = nil
+	}
+	for i := range r.pm {
+		r.pm[i] = nil
+	}
+	r.next, r.filled, r.total = 0, 0, 0
+	r.pmNext, r.pmFilled = 0, 0
+	r.pending = make(map[int64]*Record)
+}
+
+// copyRing copies the newest min(n, filled) records out of a circular
+// buffer, oldest first. next is the slot the writer would overwrite next.
+func copyRing(ring []*Record, next, filled, n int) []Record {
+	if n <= 0 || n > filled {
+		n = filled
+	}
+	out := make([]Record, 0, n)
+	start := next - n
+	for i := 0; i < n; i++ {
+		idx := (start + i + len(ring)) % len(ring)
+		if rec := ring[idx]; rec != nil {
+			out = append(out, *rec)
+		}
+	}
+	return out
+}

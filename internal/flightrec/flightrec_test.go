@@ -1,0 +1,304 @@
+package flightrec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQError(t *testing.T) {
+	cases := []struct {
+		est, act, want float64
+	}{
+		{100, 100, 1},
+		{100, 10, 10},
+		{10, 100, 10},   // symmetric
+		{0.5, 100, 100}, // sub-row estimate floored to 1
+		{100, 0, 100},
+		{0, 0, 0},
+		{-3, 10, 10}, // negative clamps to the floor
+	}
+	for _, c := range cases {
+		if got := QError(c.est, c.act); got != c.want {
+			t.Errorf("QError(%v, %v) = %v, want %v", c.est, c.act, got, c.want)
+		}
+	}
+}
+
+func TestDisabledRecorderRecordsNothing(t *testing.T) {
+	r := New(8)
+	if r.Enabled() {
+		t.Fatal("new recorder should start disabled")
+	}
+	if rec := r.Begin(1, "SELECT 1"); rec != nil {
+		t.Fatalf("Begin on a disabled recorder returned %+v, want nil", rec)
+	}
+	r.ObserveSpan(1, "execute", time.Millisecond)
+	r.Commit(nil)
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatalf("disabled recorder retained state: len=%d total=%d", r.Len(), r.Total())
+	}
+	var nilRec *Recorder
+	if nilRec.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	nilRec.Commit(&Record{QID: 1})
+	nilRec.Abort(nil)
+	if got := nilRec.Last(5); got != nil {
+		t.Fatalf("nil recorder Last = %v, want nil", got)
+	}
+}
+
+func TestRingWrapKeepsNewestOldestFirst(t *testing.T) {
+	r := New(4)
+	r.Enable()
+	for qid := int64(1); qid <= 10; qid++ {
+		rec := r.Begin(qid, fmt.Sprintf("SELECT %d", qid))
+		r.Commit(rec)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	got := r.Last(0)
+	if len(got) != 4 {
+		t.Fatalf("Last(0) returned %d records, want 4", len(got))
+	}
+	for i, want := range []int64{7, 8, 9, 10} {
+		if got[i].QID != want {
+			t.Errorf("Last(0)[%d].QID = %d, want %d (oldest first)", i, got[i].QID, want)
+		}
+	}
+	got = r.Last(2)
+	if len(got) != 2 || got[0].QID != 9 || got[1].QID != 10 {
+		t.Fatalf("Last(2) = %+v, want qids [9 10]", got)
+	}
+	// Asking for more than is live returns what is live.
+	if got = r.Last(99); len(got) != 4 {
+		t.Fatalf("Last(99) returned %d records, want 4", len(got))
+	}
+}
+
+func TestGetFindsLiveAndMissesWrapped(t *testing.T) {
+	r := New(4)
+	r.Enable()
+	for qid := int64(1); qid <= 6; qid++ {
+		r.Commit(r.Begin(qid, "SELECT 1"))
+	}
+	if _, ok := r.Get(2); ok {
+		t.Fatal("Get(2) found a record the ring wrapped past")
+	}
+	rec, ok := r.Get(5)
+	if !ok || rec.QID != 5 {
+		t.Fatalf("Get(5) = %+v, %v; want the live record", rec, ok)
+	}
+}
+
+func TestObserveSpanRoutesToPendingRecord(t *testing.T) {
+	r := New(4)
+	r.Enable()
+	rec := r.Begin(7, "SELECT 1")
+	r.ObserveSpan(7, "optimize", 2*time.Millisecond)
+	r.ObserveSpan(7, "execute", 5*time.Millisecond)
+	r.ObserveSpan(0, "parse", time.Millisecond)    // qid 0 dropped
+	r.ObserveSpan(99, "execute", time.Millisecond) // unknown qid dropped
+	r.Commit(rec)
+	got, ok := r.Get(7)
+	if !ok {
+		t.Fatal("record lost")
+	}
+	if len(got.Phases) != 2 || got.Phases[0].Phase != "optimize" || got.Phases[1].Phase != "execute" {
+		t.Fatalf("Phases = %+v, want [optimize execute]", got.Phases)
+	}
+}
+
+func TestAbortDropsPending(t *testing.T) {
+	r := New(4)
+	r.Enable()
+	rec := r.Begin(3, "BOGUS")
+	r.Abort(rec)
+	r.ObserveSpan(3, "execute", time.Millisecond) // must not resurrect it
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatalf("aborted record leaked: len=%d total=%d", r.Len(), r.Total())
+	}
+}
+
+func TestPostMortemCapture(t *testing.T) {
+	r := New(4)
+	r.Enable()
+	ok1 := r.Begin(1, "SELECT 1")
+	r.Commit(ok1)
+	bad := r.Begin(2, "SELECT broken")
+	bad.Err = "executor: scan failed"
+	r.Commit(bad)
+	deg := r.Begin(3, "SELECT degraded")
+	deg.Degraded = true
+	deg.DegradeCauses = []string{"t: cost budget exhausted"}
+	r.Commit(deg)
+
+	pms := r.PostMortems()
+	if len(pms) != 2 {
+		t.Fatalf("PostMortems = %d records, want 2 (error + degraded)", len(pms))
+	}
+	if pms[0].QID != 2 || pms[1].QID != 3 {
+		t.Fatalf("post-mortem qids = [%d %d], want [2 3]", pms[0].QID, pms[1].QID)
+	}
+	// Post-mortems survive the main ring wrapping past them.
+	for qid := int64(10); qid < 20; qid++ {
+		r.Commit(r.Begin(qid, "SELECT 1"))
+	}
+	if _, live := r.Get(2); live {
+		t.Fatal("expected qid 2 to have wrapped out of the main ring")
+	}
+	if pms = r.PostMortems(); len(pms) != 2 || pms[0].QID != 2 {
+		t.Fatalf("post-mortems lost after ring wrap: %+v", pms)
+	}
+}
+
+func TestPostMortemRingBounded(t *testing.T) {
+	r := New(4)
+	r.Enable()
+	n := DefaultPostMortemCapacity + 5
+	for qid := int64(1); qid <= int64(n); qid++ {
+		rec := r.Begin(qid, "SELECT broken")
+		rec.Err = "boom"
+		r.Commit(rec)
+	}
+	pms := r.PostMortems()
+	if len(pms) != DefaultPostMortemCapacity {
+		t.Fatalf("post-mortem buffer holds %d, want bounded at %d", len(pms), DefaultPostMortemCapacity)
+	}
+	if pms[0].QID != 6 || pms[len(pms)-1].QID != int64(n) {
+		t.Fatalf("post-mortem window [%d..%d], want [6..%d]", pms[0].QID, pms[len(pms)-1].QID, n)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New(4)
+	r.Enable()
+	bad := r.Begin(1, "SELECT broken")
+	bad.Err = "boom"
+	r.Commit(bad)
+	pending := r.Begin(2, "SELECT pending")
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 || len(r.PostMortems()) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	if !r.Enabled() {
+		t.Fatal("Reset must preserve the enabled flag")
+	}
+	r.ObserveSpan(2, "execute", time.Millisecond) // old pending record is gone
+	r.Commit(pending)                             // committing a pre-reset record is harmless
+	if r.Len() != 1 {
+		t.Fatalf("Len after post-reset commit = %d, want 1", r.Len())
+	}
+}
+
+// TestConcurrentReadersAndWriters hammers the recorder from writer and
+// reader goroutines; correctness is checked by the race detector plus the
+// invariant that every read snapshot is internally consistent.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	r := New(16)
+	r.Enable()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// One committing writer, so the strict oldest-first qid ordering of every
+	// snapshot is a valid invariant (with several committers the ring orders
+	// by commit time, not qid).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for id := int64(1); ; id++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rec := r.Begin(id, "SELECT 1")
+			r.ObserveSpan(id, "execute", time.Microsecond)
+			if id%7 == 0 {
+				rec.Err = "injected"
+			}
+			r.Commit(rec)
+		}
+	}()
+	// Extra writers exercise Begin/ObserveSpan/Abort concurrently without
+	// committing, using a disjoint qid space.
+	for w := 0; w < 3; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var qid atomic.Int64
+			qid.Store(int64(1+w) << 40)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := qid.Add(1)
+				rec := r.Begin(id, "SELECT 2")
+				r.ObserveSpan(id, "optimize", time.Microsecond)
+				r.Abort(rec)
+			}
+		}()
+	}
+	for rd := 0; rd < 4; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				recs := r.Last(8)
+				for j := 1; j < len(recs); j++ {
+					if recs[j].QID <= recs[j-1].QID {
+						t.Errorf("snapshot not oldest-first: %d then %d", recs[j-1].QID, recs[j].QID)
+						return
+					}
+				}
+				r.PostMortems()
+				r.Total()
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkDisabledRecorderBegin proves the disabled path is one atomic
+// load with zero allocations — the telemetry-free-when-disabled contract.
+func BenchmarkDisabledRecorderBegin(b *testing.B) {
+	r := New(DefaultCapacity)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rec := r.Begin(int64(i), "SELECT 1"); rec != nil {
+			b.Fatal("recorder unexpectedly enabled")
+		}
+	}
+}
+
+// BenchmarkDisabledRecorderObserveSpan is the span-site probe cost while
+// the recorder is disabled.
+func BenchmarkDisabledRecorderObserveSpan(b *testing.B) {
+	r := New(DefaultCapacity)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.ObserveSpan(int64(i), "execute", time.Microsecond)
+	}
+}
+
+// BenchmarkEnabledCommit is the O(1) ring-append cost when recording.
+func BenchmarkEnabledCommit(b *testing.B) {
+	r := New(DefaultCapacity)
+	r.Enable()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Commit(r.Begin(int64(i+1), "SELECT 1"))
+	}
+}

@@ -95,6 +95,8 @@ type Histogram struct {
 
 	constraints []constraint
 	lastUsed    int64 // archive LRU bookkeeping
+	merges      int   // constraints ever merged in (introspection only, not persisted)
+	updatedAt   int64 // logical time of the last merge (introspection only, not persisted)
 
 	maxCutsPerDim  int
 	maxCells       int
@@ -414,8 +416,20 @@ func (h *Histogram) AddConstraint(b Box, frac float64, ts int64) error {
 		}
 	})
 	h.Touch(ts)
+	h.merges++
+	if ts > h.updatedAt {
+		h.updatedAt = ts
+	}
 	return nil
 }
+
+// Merges returns how many constraints have ever been merged into this
+// histogram (in memory; the counter is not persisted with snapshots).
+func (h *Histogram) Merges() int { return h.merges }
+
+// UpdatedAt returns the logical time of the most recent constraint merge, or
+// 0 if none has happened since the histogram was created or loaded.
+func (h *Histogram) UpdatedAt() int64 { return h.updatedAt }
 
 // refit runs iterative proportional fitting over the retained constraints,
 // dropping the oldest constraints whenever the system has become
@@ -627,6 +641,8 @@ func (h *Histogram) Clone() *Histogram {
 		ts:             append([]int64(nil), h.ts...),
 		constraints:    append([]constraint(nil), h.constraints...),
 		lastUsed:       h.lastUsed,
+		merges:         h.merges,
+		updatedAt:      h.updatedAt,
 		maxCutsPerDim:  h.maxCutsPerDim,
 		maxCells:       h.maxCells,
 		maxConstraints: h.maxConstraints,

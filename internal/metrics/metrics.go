@@ -208,6 +208,60 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return err
 }
 
+// Sample is one scalar reading from the registry: a counter or gauge value,
+// or a histogram's _count/_sum aggregate. SHOW METRICS renders these as rows.
+type Sample struct {
+	Name  string // metric name, with _count/_sum suffix for histograms
+	Label string // rendered label pair, e.g. `kind="select"`; empty if unlabeled
+	Value float64
+}
+
+// Samples returns a point-in-time scalar snapshot of every registered
+// instrument, sorted by (Name, Label). Histograms contribute their _count
+// and _sum series (per-bucket detail stays on the /metrics exposition).
+func (r *Registry) Samples() []Sample {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.byName))
+	for _, f := range r.byName {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+
+	var out []Sample
+	emit := func(name, label string, inst exposable) {
+		switch v := inst.(type) {
+		case *Counter:
+			out = append(out, Sample{Name: name, Label: label, Value: v.Value()})
+		case *Gauge:
+			out = append(out, Sample{Name: name, Label: label, Value: v.Value()})
+		case *Histogram:
+			out = append(out, Sample{Name: name + "_count", Label: label, Value: float64(v.Count())})
+			out = append(out, Sample{Name: name + "_sum", Label: label, Value: v.Sum()})
+		}
+	}
+	for _, f := range fams {
+		if f.single != nil {
+			emit(f.name, "", f.single)
+			continue
+		}
+		f.mu.Lock()
+		for lv, child := range f.children {
+			emit(f.name, fmt.Sprintf(`%s=%q`, f.labelKey, lv), child)
+		}
+		f.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// Samples returns the default registry's scalar snapshot.
+func Samples() []Sample { return defaultRegistry.Samples() }
+
 // String renders the registry as exposition text (for logs and tests).
 func (r *Registry) String() string {
 	var sb strings.Builder

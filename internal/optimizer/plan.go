@@ -123,13 +123,19 @@ func (s *Scan) Cost() float64 { return s.EstCost }
 // Slots implements Node.
 func (s *Scan) Slots() []int { return []int{s.Slot} }
 
-func (s *Scan) explain(sb *strings.Builder, indent int, ann AnnotateFunc) {
-	pad := strings.Repeat("  ", indent)
+// Describe returns the operator's compact label as it appears at the start
+// of its EXPLAIN line, e.g. "TableScan car as c" or "IndexScan(make) car as c".
+func (s *Scan) Describe() string {
 	access := "TableScan"
 	if s.IndexColumn != "" {
 		access = fmt.Sprintf("IndexScan(%s)", s.IndexColumn)
 	}
-	fmt.Fprintf(sb, "%s%s %s as %s", pad, access, s.Table, s.Alias)
+	return fmt.Sprintf("%s %s as %s", access, s.Table, s.Alias)
+}
+
+func (s *Scan) explain(sb *strings.Builder, indent int, ann AnnotateFunc) {
+	pad := strings.Repeat("  ", indent)
+	fmt.Fprintf(sb, "%s%s", pad, s.Describe())
 	if len(s.Preds) > 0 {
 		parts := make([]string, len(s.Preds))
 		for i, p := range s.Preds {
@@ -163,17 +169,37 @@ func (j *Join) Slots() []int {
 	return append(append([]int(nil), j.Left.Slots()...), j.Right.Slots()...)
 }
 
-func (j *Join) explain(sb *strings.Builder, indent int, ann AnnotateFunc) {
-	pad := strings.Repeat("  ", indent)
+// Describe returns the operator's compact label as it appears at the start
+// of its EXPLAIN line, e.g. "HashJoin on[c.make = s.make]".
+func (j *Join) Describe() string {
 	parts := make([]string, len(j.Preds))
 	for i, p := range j.Preds {
 		parts[i] = p.String()
 	}
-	fmt.Fprintf(sb, "%s%s on[%s] rows=%.1f cost=%.0f", pad, j.Method, strings.Join(parts, " AND "), j.EstRows, j.EstCost)
+	return fmt.Sprintf("%s on[%s]", j.Method, strings.Join(parts, " AND "))
+}
+
+func (j *Join) explain(sb *strings.Builder, indent int, ann AnnotateFunc) {
+	pad := strings.Repeat("  ", indent)
+	fmt.Fprintf(sb, "%s%s rows=%.1f cost=%.0f", pad, j.Describe(), j.EstRows, j.EstCost)
 	annotate(sb, j, ann)
 	sb.WriteByte('\n')
 	j.Left.explain(sb, indent+1, ann)
 	j.Right.explain(sb, indent+1, ann)
+}
+
+// Walk visits n and every descendant in pre-order (node, left, right).
+// Introspection uses it to enumerate plan operators in the same order
+// EXPLAIN prints them.
+func Walk(n Node, fn func(Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	if j, ok := n.(*Join); ok {
+		Walk(j.Left, fn)
+		Walk(j.Right, fn)
+	}
 }
 
 // Explain renders the join tree as an indented EXPLAIN string.

@@ -256,3 +256,44 @@ type ExplainStmt struct {
 }
 
 func (*ExplainStmt) stmt() {}
+
+// ShowKind enumerates the introspection SHOW statements.
+type ShowKind uint8
+
+// SHOW statement kinds.
+const (
+	ShowStats   ShowKind = iota // SHOW STATS: archived histograms
+	ShowQueries                 // SHOW QUERIES [LAST n]: flight-recorder contents
+	ShowMetrics                 // SHOW METRICS: metrics-registry snapshot
+)
+
+// String returns the SQL spelling of the SHOW target.
+func (k ShowKind) String() string {
+	switch k {
+	case ShowStats:
+		return "STATS"
+	case ShowQueries:
+		return "QUERIES"
+	case ShowMetrics:
+		return "METRICS"
+	default:
+		return "?"
+	}
+}
+
+// ShowStmt is SHOW STATS | SHOW QUERIES [LAST n] | SHOW METRICS — the
+// introspection statements that return engine state as ordinary result sets.
+type ShowStmt struct {
+	Kind ShowKind
+	Last int // SHOW QUERIES LAST n; 0 means all retained records
+}
+
+func (*ShowStmt) stmt() {}
+
+// ExplainHistoryStmt is EXPLAIN HISTORY <qid>: replay the flight-recorded
+// plan of a past statement with its captured actuals.
+type ExplainHistoryStmt struct {
+	QID int64
+}
+
+func (*ExplainHistoryStmt) stmt() {}

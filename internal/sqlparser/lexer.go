@@ -39,6 +39,8 @@ var keywords = map[string]bool{
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 	"INT": true, "FLOAT": true, "STRING": true, "NULL": true, "DISTINCT": true,
 	"EXPLAIN": true, "ANALYZE": true,
+	"SHOW": true, "STATS": true, "QUERIES": true, "METRICS": true,
+	"HISTORY": true, "LAST": true,
 }
 
 // lexError reports a scanning problem with its byte offset.

@@ -100,12 +100,21 @@ func (p *parser) parseStatement() (Statement, error) {
 	switch t.text {
 	case "EXPLAIN":
 		p.next()
+		if p.acceptKeyword("HISTORY") {
+			qid, err := p.parseNonNegativeInt("statement qid")
+			if err != nil {
+				return nil, err
+			}
+			return &ExplainHistoryStmt{QID: qid}, nil
+		}
 		analyze := p.acceptKeyword("ANALYZE")
 		sel, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
 		return &ExplainStmt{Select: sel, Analyze: analyze}, nil
+	case "SHOW":
+		return p.parseShow()
 	case "SELECT":
 		return p.parseSelect()
 	case "INSERT":
@@ -119,6 +128,49 @@ func (p *parser) parseStatement() (Statement, error) {
 	default:
 		return nil, p.errorf("unsupported statement %s", t.text)
 	}
+}
+
+// parseShow parses the introspection statements: SHOW STATS, SHOW QUERIES
+// [LAST n], SHOW METRICS. The SHOW keyword is still pending.
+func (p *parser) parseShow() (Statement, error) {
+	if err := p.expectKeyword("SHOW"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.acceptKeyword("STATS"):
+		return &ShowStmt{Kind: ShowStats}, nil
+	case p.acceptKeyword("METRICS"):
+		return &ShowStmt{Kind: ShowMetrics}, nil
+	case p.acceptKeyword("QUERIES"):
+		stmt := &ShowStmt{Kind: ShowQueries}
+		if p.acceptKeyword("LAST") {
+			n, err := p.parseNonNegativeInt("LAST count")
+			if err != nil {
+				return nil, err
+			}
+			if n == 0 {
+				return nil, p.errorf("SHOW QUERIES LAST requires a positive count")
+			}
+			stmt.Last = int(n)
+		}
+		return stmt, nil
+	default:
+		return nil, p.errorf("expected STATS, QUERIES or METRICS after SHOW, found %q", p.peek().text)
+	}
+}
+
+// parseNonNegativeInt parses an integer literal ≥ 0; what names it in errors.
+func (p *parser) parseNonNegativeInt(what string) (int64, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, p.errorf("expected %s, found %q", what, t.text)
+	}
+	p.next()
+	d, err := value.ParseLiteral(t.text, false)
+	if err != nil || d.Kind() != value.KindInt || d.Int() < 0 {
+		return 0, &ParseError{Pos: t.pos, Msg: fmt.Sprintf("invalid %s %q", what, t.text)}
+	}
+	return d.Int(), nil
 }
 
 // parseColumnRef parses ident [. ident].

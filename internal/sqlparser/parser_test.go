@@ -376,3 +376,64 @@ func BenchmarkParsePaperQuery(b *testing.B) {
 		}
 	}
 }
+
+func TestParseShowStatements(t *testing.T) {
+	cases := []struct {
+		sql  string
+		kind ShowKind
+		last int
+	}{
+		{`SHOW STATS`, ShowStats, 0},
+		{`show stats`, ShowStats, 0},
+		{`SHOW METRICS`, ShowMetrics, 0},
+		{`SHOW QUERIES`, ShowQueries, 0},
+		{`SHOW QUERIES LAST 25`, ShowQueries, 25},
+	}
+	for _, c := range cases {
+		stmt, err := Parse(c.sql)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.sql, err)
+		}
+		show, ok := stmt.(*ShowStmt)
+		if !ok {
+			t.Fatalf("Parse(%q) = %T, want *ShowStmt", c.sql, stmt)
+		}
+		if show.Kind != c.kind || show.Last != c.last {
+			t.Errorf("Parse(%q) = kind %v last %d, want kind %v last %d",
+				c.sql, show.Kind, show.Last, c.kind, c.last)
+		}
+	}
+	for _, bad := range []string{
+		`SHOW`, `SHOW TABLES`, `SHOW QUERIES LAST`, `SHOW QUERIES LAST 0`,
+		`SHOW QUERIES LAST -3`, `SHOW QUERIES LAST x`, `SHOW STATS EXTRA`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseExplainHistory(t *testing.T) {
+	stmt, err := Parse(`EXPLAIN HISTORY 42`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eh, ok := stmt.(*ExplainHistoryStmt)
+	if !ok {
+		t.Fatalf("got %T, want *ExplainHistoryStmt", stmt)
+	}
+	if eh.QID != 42 {
+		t.Fatalf("QID = %d, want 42", eh.QID)
+	}
+	// HISTORY must not swallow the ordinary EXPLAIN forms.
+	if stmt, err = Parse(`EXPLAIN SELECT a FROM t`); err != nil {
+		t.Fatal(err)
+	} else if _, ok := stmt.(*ExplainStmt); !ok {
+		t.Fatalf("EXPLAIN SELECT parsed as %T", stmt)
+	}
+	for _, bad := range []string{`EXPLAIN HISTORY`, `EXPLAIN HISTORY -1`, `EXPLAIN HISTORY q7`} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}

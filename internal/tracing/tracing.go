@@ -38,12 +38,23 @@ const (
 	PhaseArchiveMerge = "archive.merge"
 )
 
+// SpanObserver receives completed span timings in-process, independently of
+// the textual trace writer. The engine's flight recorder implements it to
+// capture per-phase wall timings without forcing trace output on. Active is
+// the cheap gate: while it returns false the tracer treats the observer as
+// absent and spans stay free.
+type SpanObserver interface {
+	Active() bool
+	ObserveSpan(qid int64, phase string, wall time.Duration)
+}
+
 // Tracer writes structured trace lines to one io.Writer. Safe for
 // concurrent use; a nil *Tracer is valid and disabled.
 type Tracer struct {
-	mu sync.Mutex
-	w  io.Writer
-	on atomic.Bool
+	mu  sync.Mutex
+	w   io.Writer
+	on  atomic.Bool
+	obs atomic.Pointer[SpanObserver]
 }
 
 // New returns a tracer writing to w; a nil w yields a disabled (but
@@ -57,6 +68,30 @@ func New(w io.Writer) *Tracer {
 // Enabled reports whether trace output is being produced. Nil-safe; this is
 // the one-atomic-load fast path every probe takes first.
 func (t *Tracer) Enabled() bool { return t != nil && t.on.Load() }
+
+// SetObserver installs (or, with nil, removes) the span observer. At most
+// one observer is supported; the engine wires its flight recorder here.
+func (t *Tracer) SetObserver(o SpanObserver) {
+	if t == nil {
+		return
+	}
+	if o == nil {
+		t.obs.Store(nil)
+		return
+	}
+	t.obs.Store(&o)
+}
+
+// observer returns the installed observer if it is currently active.
+func (t *Tracer) observer() SpanObserver {
+	if t == nil {
+		return nil
+	}
+	if p := t.obs.Load(); p != nil && (*p).Active() {
+		return *p
+	}
+	return nil
+}
 
 // Printf writes one trace line (a newline is appended). No-op when
 // disabled; serialized when enabled.
@@ -80,9 +115,10 @@ type Span struct {
 }
 
 // Start opens a span for statement qid in the given phase. Returns nil when
-// the tracer is disabled, which downstream Attr/End calls tolerate.
+// the tracer is disabled and no active observer is installed, which
+// downstream Attr/End calls tolerate.
 func (t *Tracer) Start(qid int64, phase string) *Span {
-	if !t.Enabled() {
+	if !t.Enabled() && t.observer() == nil {
 		return nil
 	}
 	return &Span{t: t, qid: qid, phase: phase, start: time.Now()}
@@ -99,12 +135,18 @@ func (s *Span) Attr(key string, v any) *Span {
 }
 
 // End closes the span, emitting one line with the wall-clock duration and
-// any attached attributes.
+// any attached attributes, and delivering the timing to an active observer.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
 	wall := time.Since(s.start).Round(time.Microsecond)
+	if obs := s.t.observer(); obs != nil {
+		obs.ObserveSpan(s.qid, s.phase, wall)
+	}
+	if !s.t.Enabled() {
+		return
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "q%d span %s wall=%s", s.qid, s.phase, wall)
 	for _, a := range s.attrs {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke debug-smoke fuzz chaos check
+.PHONY: all build test race vet bench bench-smoke debug-smoke overload-smoke fuzz chaos check
 
 all: build
 
@@ -38,6 +38,14 @@ bench-smoke:
 # runs this target.
 debug-smoke:
 	$(GO) run ./cmd/debugsmoke
+
+# Resource-governor proofs under the race detector: admission shedding and
+# cancel-while-queued (engine + gate), memory-budget bounding, the sampling
+# circuit breaker end to end, the govern.pressure chaos storm, and the
+# overload experiment's accounting invariants. CI runs this target.
+overload-smoke:
+	$(GO) test -race -count=1 -run 'TestGate|TestBreaker|TestReservation|TestStatementMemoryBudget|TestSamplingShrinks|TestAdmissionOverload|TestCancelWhileQueued|TestBreakerTripsEndToEnd|TestChaosGovernPressure|TestOverloadQuick' \
+		./internal/govern/ ./internal/engine/ ./internal/experiments/
 
 # Short live run of the serial-vs-parallel differential fuzzer; the seed
 # corpus alone is replayed by every plain `make test`.

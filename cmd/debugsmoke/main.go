@@ -107,6 +107,9 @@ func main() {
 	var health struct {
 		Status      string           `json:"status"`
 		Degradation map[string]int64 `json:"degradation"`
+		Governor    struct {
+			BreakerState string `json:"breaker_state"`
+		} `json:"governor"`
 	}
 	if err := json.Unmarshal(body, &health); err != nil {
 		fatalf("/debug/health invalid JSON: %v\n%s", err, body)
@@ -117,7 +120,13 @@ func main() {
 	if _, ok := health.Degradation["budget_exhausted"]; !ok {
 		fatalf("/debug/health missing degradation counters: %s", body)
 	}
-	fmt.Println("debugsmoke: /debug/health OK")
+	if _, ok := health.Degradation["memory_budget"]; !ok {
+		fatalf("/debug/health missing memory_budget degradation counter: %s", body)
+	}
+	if health.Governor.BreakerState == "" {
+		fatalf("/debug/health missing governor section: %s", body)
+	}
+	fmt.Printf("debugsmoke: /debug/health OK (breaker %s)\n", health.Governor.BreakerState)
 
 	// /debug/queries: JSON; records must become non-empty as the workload
 	// runs (retry — the experiment may still be loading data).

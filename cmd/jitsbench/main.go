@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	jitsbench [-exp all|table2|table3|fig3|fig4|fig5|fig6|oltp|parallel]
+//	jitsbench [-exp all|table2|table3|fig3|fig4|fig5|fig6|oltp|parallel|overload]
 //	          [-scale 0.01] [-queries 840] [-seed 42] [-smax 0.5]
 //	          [-sample 2000] [-csv dir] [-pergroup] [-parallelism 1]
-//	          [-trace file|-] [-metrics] [-debug-addr host:port]
+//	          [-gate 4] [-trace file|-] [-metrics] [-debug-addr host:port]
 //	          [-debug-linger 0s]
 //
 // -csv writes every figure's data as CSV files for plotting; -pergroup
@@ -26,6 +26,12 @@
 // process-wide metrics registry and prints its Prometheus-style text
 // exposition after the experiments finish. Both are off by default and cost
 // one atomic load per probe when off.
+//
+// The "overload" experiment sweeps client concurrency against a governed
+// engine (admission gate of -gate slots, statement deadlines): it reports
+// admitted/shed/degraded counts and client-visible p50/p99 latency per
+// level, writing overload.csv under -csv. It is excluded from "all" because
+// its wall-clock behavior is host-dependent; run it explicitly.
 //
 // -debug-addr starts the embedded debug HTTP server (see
 // internal/debugserver) on the given address (port 0 picks a free port; the
@@ -56,7 +62,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, table2, table3, fig3, fig4, fig5, fig6, oltp")
+		exp      = flag.String("exp", "all", "experiment: all, table2, table3, fig3, fig4, fig5, fig6, oltp, parallel, overload (overload is excluded from all)")
 		scale    = flag.Float64("scale", 0.01, "dataset scale factor (1.0 = paper sizes)")
 		queries  = flag.Int("queries", 840, "workload query count")
 		seed     = flag.Int64("seed", 42, "random seed")
@@ -67,6 +73,7 @@ func main() {
 		par      = flag.Int("parallelism", 1, "intra-query degree of parallelism (1 = serial operators)")
 		traceF   = flag.String("trace", "", `write phase-trace spans to this file ("-" for stderr)`)
 		metricsF = flag.Bool("metrics", false, "enable the metrics registry and print its exposition on exit")
+		gate     = flag.Int("gate", 4, "admission gate size for -exp overload (MaxConcurrent; queue depth is twice this)")
 		debugF   = flag.String("debug-addr", "", "start the embedded debug HTTP server on this address (port 0 picks a free port)")
 		lingerF  = flag.Duration("debug-linger", 0, "keep the process alive this long after the experiments finish (requires -debug-addr)")
 	)
@@ -156,6 +163,9 @@ func main() {
 	run("fig6", func() error { return fig6(opts) })
 	run("oltp", func() error { return oltp(opts) })
 	run("parallel", func() error { return parallelSpeedup(opts) })
+	if *exp == "overload" { // opt-in: wall-clock heavy, so "all" skips it
+		run("overload", func() error { return overload(opts, *gate) })
+	}
 }
 
 func header(title string) {
@@ -369,5 +379,35 @@ func parallelSpeedup(opts experiments.Options) error {
 	fmt.Println("\nevery row replays the identical query stream with identical results and")
 	fmt.Println("identical simulated cost; with multiple cores available, wall clock")
 	fmt.Println("shrinks as workers are added, and nothing else changes")
+	return nil
+}
+
+func overload(opts experiments.Options, gateSize int) error {
+	header("Overload: admission control under a concurrency sweep")
+	fmt.Printf("gate: %d slots, queue depth %d, statement deadline 250ms\n\n", gateSize, 2*gateSize)
+	rows, err := experiments.Overload(opts, experiments.OverloadOptions{GateSize: gateSize})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%12s %10s %10s %8s %8s %10s %10s %10s\n",
+		"concurrency", "statements", "admitted", "shed", "errors", "degraded", "p50", "p99")
+	var csvRows [][]string
+	for _, r := range rows {
+		fmt.Printf("%12d %10d %10d %8d %8d %10d %10s %10s\n",
+			r.Concurrency, r.Statements, r.Admitted, r.Shed, r.Errors, r.Degraded,
+			r.P50.Round(time.Millisecond), r.P99.Round(time.Millisecond))
+		csvRows = append(csvRows, []string{
+			strconv.Itoa(r.Concurrency), strconv.Itoa(r.Statements),
+			strconv.Itoa(r.Admitted), strconv.Itoa(r.Shed), strconv.Itoa(r.Errors),
+			strconv.Itoa(r.Degraded),
+			f64(float64(r.P50) / float64(time.Millisecond)),
+			f64(float64(r.P99) / float64(time.Millisecond)),
+		})
+	}
+	writeCSV("overload.csv",
+		[]string{"concurrency", "statements", "admitted", "shed", "errors", "degraded", "p50_ms", "p99_ms"},
+		csvRows)
+	fmt.Println("\nexpected shape: past the gate size, added clients shift from admitted to")
+	fmt.Println("shed while p99 for admitted work stays bounded by the statement deadline")
 	return nil
 }

@@ -7,10 +7,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/costmodel"
 	"repro/internal/feedback"
+	"repro/internal/govern"
 	"repro/internal/index"
 	"repro/internal/qgm"
 	"repro/internal/metrics"
@@ -75,6 +77,12 @@ type Config struct {
 	// charge to the compilation meter before further collection degrades
 	// to catalog statistics; 0 means unlimited.
 	SampleBudgetUnits float64
+	// MemBudgetBytes caps the accounted bytes one statement may hold at
+	// once (sampling buffers and buffering executor operators alike); 0
+	// means unlimited. Sampling shrinks its sample to fit; operators that
+	// cannot shrink fail with the typed govern.ErrMemoryBudget. The engine
+	// copies this into the governor's per-statement budget.
+	MemBudgetBytes int64
 }
 
 // withDefaults fills zero-valued knobs. SMax stays as given: an explicit
@@ -116,6 +124,7 @@ type JITS struct {
 	indexes *index.Set // bound by the engine; used by StrategyCN plan probes
 	degrade costmodel.Degradation
 	tracer  *tracing.Tracer // bound by the engine; nil-safe when unbound
+	breaker *govern.Breaker // bound by the engine; nil-safe when unbound
 }
 
 // New builds a JITS coordinator sharing the engine's catalog and feedback
@@ -134,6 +143,12 @@ func New(cfg Config, history *feedback.History, cat *catalog.Catalog) *JITS {
 // BindTracer attaches the engine's phase tracer; per-table sampling spans
 // (tracing.PhaseSample) emit through it. A nil tracer disables the spans.
 func (j *JITS) BindTracer(t *tracing.Tracer) { j.tracer = t }
+
+// BindBreaker attaches the governor's sampling circuit breaker. When the
+// breaker is open, Prepare skips compile-time sampling entirely (catalog-only
+// mode) and counts each skipped table as a breaker degradation. A nil
+// breaker (the default) never trips.
+func (j *JITS) BindBreaker(b *govern.Breaker) { j.breaker = b }
 
 // DegradationCounts snapshots the cumulative graceful-degradation counters:
 // how many tables fell back to catalog statistics, by cause.
@@ -274,6 +289,15 @@ func (r *PrepareReport) DegradedTables() int { return len(r.FallbackTables) }
 // reverts to traditional processing whenever QSS cannot be collected. The
 // only errors Prepare returns are structural (unknown table).
 func (j *JITS) Prepare(ctx context.Context, q *qgm.Query, db *storage.Database, ts int64, meter *costmodel.Meter, w costmodel.Weights) (*QueryStats, *PrepareReport, error) {
+	return j.PrepareBudgeted(ctx, q, db, ts, meter, w, nil)
+}
+
+// PrepareBudgeted is Prepare with a per-statement memory reservation:
+// sampling buffers are charged against res (shrinking the sample to fit
+// where possible, degrading to catalog statistics where not) and the
+// governor's circuit breaker — when bound and open — short-circuits all
+// collection to catalog-only mode. A nil res disables memory accounting.
+func (j *JITS) PrepareBudgeted(ctx context.Context, q *qgm.Query, db *storage.Database, ts int64, meter *costmodel.Meter, w costmodel.Weights, res *govern.Reservation) (*QueryStats, *PrepareReport, error) {
 	if !j.cfg.Enabled {
 		return nil, &PrepareReport{}, nil
 	}
@@ -365,6 +389,14 @@ func (j *JITS) Prepare(ctx context.Context, q *qgm.Query, db *storage.Database, 
 		cause.Inc()
 	}
 
+	// The sampling breaker is consulted once per statement, lazily at the
+	// first table the sensitivity analysis wants to sample: under sustained
+	// overload the whole statement compiles catalog-only rather than
+	// half-sampled, and statements that would not have sampled anyway do not
+	// consume half-open probe permits.
+	breakerChecked := false
+	breakerAllows := true
+
 	for _, name := range order {
 		tw := byTable[name]
 		tbl, ok := db.Table(name)
@@ -388,10 +420,16 @@ func (j *JITS) Prepare(ctx context.Context, q *qgm.Query, db *storage.Database, 
 			Collected: collect, Scores: scores,
 			GroupsEvaluated: len(tw.groups),
 		}
+		if collect && !breakerChecked {
+			breakerChecked = true
+			breakerAllows = j.breaker.Allow()
+		}
 		if collect {
 			switch {
 			case ctx.Err() != nil:
 				degrade(&tr, fmt.Sprintf("cancelled: %v", ctx.Err()), j.degrade.RecordCancellation, mDegradeCancelled)
+			case !breakerAllows:
+				degrade(&tr, "sampling circuit breaker open (catalog-only mode)", j.degrade.RecordBreakerOpen, mDegradeBreaker)
 			case j.cfg.SampleBudgetUnits > 0 && meter.Units()-startUnits >= j.cfg.SampleBudgetUnits:
 				degrade(&tr, "cost budget exhausted", j.degrade.RecordBudgetExhausted, mDegradeBudget)
 			case j.cfg.SampleBudgetRows > 0 && rowsUsed >= j.cfg.SampleBudgetRows:
@@ -402,12 +440,18 @@ func (j *JITS) Prepare(ctx context.Context, q *qgm.Query, db *storage.Database, 
 					size = j.cfg.SampleBudgetRows - rowsUsed
 				}
 				span := j.tracer.Start(ts, tracing.PhaseSample)
-				err := j.collectTable(ctx, tbl, name, tw.groups, size, qs, &tr, sens, ts, meter, w)
+				sampleStart := time.Now()
+				err := j.collectTable(ctx, tbl, name, tw.groups, size, qs, &tr, sens, ts, meter, w, res)
+				// The breaker watches real sampling wall time, success or
+				// not: a probe that errors slowly is still a slow probe.
+				j.breaker.RecordSampling(time.Since(sampleStart))
 				span.Attr("table", name).Attr("rows", tr.SampleRows).Attr("groups", len(tw.groups)).End()
 				if err != nil {
 					switch {
 					case ctx.Err() != nil:
 						degrade(&tr, fmt.Sprintf("cancelled: %v", err), j.degrade.RecordCancellation, mDegradeCancelled)
+					case errors.Is(err, govern.ErrMemoryBudget):
+						degrade(&tr, fmt.Sprintf("memory budget: %v", err), j.degrade.RecordMemoryBudget, mDegradeMemory)
 					case isRecoveredPanic(err):
 						degrade(&tr, err.Error(), j.degrade.RecordPanic, mDegradePanic)
 					default:
@@ -438,17 +482,53 @@ func isRecoveredPanic(err error) bool {
 	return errors.As(err, &pe)
 }
 
+// minSampleRows is the smallest sample the memory shrink-to-fit loop will
+// offer before giving up with a typed budget error: below this, estimates
+// are noise and catalog statistics are the better fallback.
+const minSampleRows = 64
+
 // collectTable samples one table and folds the observed selectivities, NDVs
 // and materialized histograms into qs, tr and the archive. Any panic in the
 // sampling/evaluation machinery (including injected worker panics) is
 // recovered into an error so the caller can degrade instead of crashing the
 // statement.
-func (j *JITS) collectTable(ctx context.Context, tbl *storage.Table, name string, groups [][]qgm.Predicate, size int, qs *QueryStats, tr *TableReport, sens *Sensitivity, ts int64, meter *costmodel.Meter, w costmodel.Weights) (err error) {
+//
+// When res is non-nil, the sample buffer is reserved before sampling: the
+// sample shrinks by halving (down to minSampleRows) until the reservation
+// fits — the sampling analogue of the Degraded path — and a sample that
+// cannot fit at all returns a wrapped govern.ErrMemoryBudget. The
+// reservation is returned when the sample is released: QSS live in the
+// archive, the sample itself is transient.
+func (j *JITS) collectTable(ctx context.Context, tbl *storage.Table, name string, groups [][]qgm.Predicate, size int, qs *QueryStats, tr *TableReport, sens *Sensitivity, ts int64, meter *costmodel.Meter, w costmodel.Weights, res *govern.Reservation) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = &panicError{val: p}
 		}
 	}()
+
+	var reserved int64
+	if res != nil {
+		rowBytes := govern.EstimateRowBytes(tbl.Schema().NumColumns())
+		shrunk := false
+		for {
+			// Small tables are copied whole regardless of the nominal sample
+			// size — reserve for what the sampler will really materialize.
+			rows := sampling.EffectiveSampleRows(tbl.RowCount(), size)
+			want := int64(rows) * rowBytes
+			if growErr := res.Grow(want); growErr == nil {
+				reserved = want
+				break
+			} else if size/2 < minSampleRows {
+				return fmt.Errorf("sample of %d rows does not fit reservation: %w", size, growErr)
+			}
+			size /= 2
+			shrunk = true
+		}
+		if shrunk {
+			mSampleMemShrinks.Inc()
+		}
+		defer res.Shrink(reserved)
+	}
 
 	sample, err := j.sampler.Sample(ctx, tbl, size, meter, w, j.cfg.Parallelism)
 	if err != nil {

@@ -22,6 +22,11 @@ var (
 	mDegradeBudget    = mDegradation.With("budget_exhausted")
 	mDegradeSampling  = mDegradation.With("sampling_error")
 	mDegradePanic     = mDegradation.With("panic")
+	mDegradeMemory    = mDegradation.With("memory_budget")
+	mDegradeBreaker   = mDegradation.With("breaker_open")
+	mSampleMemShrinks = metrics.Default().Counter(
+		"jits_sampling_mem_shrinks_total",
+		"Sampling passes that shrank their sample to fit the memory budget.")
 	mArchiveHits = metrics.Default().Counter(
 		"qss_archive_hits_total",
 		"QSS archive selectivity lookups answered from archived statistics.")

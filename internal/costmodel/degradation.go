@@ -12,6 +12,8 @@ type Degradation struct {
 	budgetExhausted atomic.Int64
 	cancellations   atomic.Int64
 	panics          atomic.Int64
+	memoryBudget    atomic.Int64
+	breakerOpen     atomic.Int64
 	fallbackTables  atomic.Int64
 }
 
@@ -27,6 +29,12 @@ type DegradationCounts struct {
 	Cancellations int64
 	// Panics counts tables whose collection panicked and was recovered.
 	Panics int64
+	// MemoryBudget counts tables whose sample could not fit the statement's
+	// memory reservation even after shrinking.
+	MemoryBudget int64
+	// BreakerOpen counts tables skipped because the sampling circuit
+	// breaker was open (catalog-only mode under overload).
+	BreakerOpen int64
 	// FallbackTables counts every table that fell back to catalog
 	// statistics, whatever the reason (the sum of the classes above).
 	FallbackTables int64
@@ -59,6 +67,18 @@ func (d *Degradation) RecordPanic() {
 	d.fallbackTables.Add(1)
 }
 
+// RecordMemoryBudget counts one table degraded by memory-budget exhaustion.
+func (d *Degradation) RecordMemoryBudget() {
+	d.memoryBudget.Add(1)
+	d.fallbackTables.Add(1)
+}
+
+// RecordBreakerOpen counts one table skipped by the open sampling breaker.
+func (d *Degradation) RecordBreakerOpen() {
+	d.breakerOpen.Add(1)
+	d.fallbackTables.Add(1)
+}
+
 // Counts returns a snapshot of the counters. Safe to call concurrently with
 // the Record methods; a nil receiver snapshots to zero.
 func (d *Degradation) Counts() DegradationCounts {
@@ -70,6 +90,8 @@ func (d *Degradation) Counts() DegradationCounts {
 		BudgetExhausted: d.budgetExhausted.Load(),
 		Cancellations:   d.cancellations.Load(),
 		Panics:          d.panics.Load(),
+		MemoryBudget:    d.memoryBudget.Load(),
+		BreakerOpen:     d.breakerOpen.Load(),
 		FallbackTables:  d.fallbackTables.Load(),
 	}
 }

@@ -105,7 +105,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
@@ -163,17 +168,29 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	status := "ok"
+	code := http.StatusOK
 	if eng.Closed() {
 		status = "closed"
 	}
+	gov := eng.Governor()
+	// A saturated governor — breaker open (sampling tripped off) or the
+	// admission queue full — makes the health probe fail, so a load balancer
+	// backs off before the engine starts shedding.
+	if gov.Saturated() {
+		status = "overloaded"
+		code = http.StatusServiceUnavailable
+	}
 	deg := eng.Degradation()
-	writeJSON(w, map[string]any{
+	writeJSONStatus(w, code, map[string]any{
 		"status": status,
 		"degradation": map[string]int64{
 			"cancelled":        deg.Cancellations,
 			"budget_exhausted": deg.BudgetExhausted,
 			"sampling_error":   deg.SamplingErrors,
 			"panic":            deg.Panics,
+			"memory_budget":    deg.MemoryBudget,
+			"breaker_open":     deg.BreakerOpen,
 		},
+		"governor": gov.Snapshot(),
 	})
 }

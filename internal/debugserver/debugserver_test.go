@@ -6,9 +6,11 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/debugserver"
 	"repro/internal/engine"
+	"repro/internal/govern"
 	"repro/internal/metrics"
 )
 
@@ -162,6 +164,55 @@ func TestHealthEndpointTransitions(t *testing.T) {
 	}
 	if got.Status != "closed" {
 		t.Fatalf("status after Close %q, want closed", got.Status)
+	}
+}
+
+// TestHealthGovernorSection: the health payload carries the governor
+// snapshot, and an open sampling breaker flips the endpoint to 503 so load
+// balancers back off before the engine starts shedding.
+func TestHealthGovernorSection(t *testing.T) {
+	cfg := engine.Config{}
+	cfg.Governor.Breaker = govern.BreakerConfig{LatencyThreshold: time.Millisecond}
+	e := engine.New(cfg)
+	if _, err := e.Exec(`CREATE TABLE t (id INT)`); err != nil {
+		t.Fatal(err)
+	}
+	_, base := startedServer(t, e)
+
+	var got struct {
+		Status      string           `json:"status"`
+		Degradation map[string]int64 `json:"degradation"`
+		Governor    struct {
+			BreakerState  string `json:"breaker_state"`
+			GlobalMemUsed int64  `json:"global_mem_used_bytes"`
+		} `json:"governor"`
+	}
+	code, _, body := get(t, base+"/debug/health")
+	if code != http.StatusOK {
+		t.Fatalf("healthy status %d, want 200", code)
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if got.Governor.BreakerState != "closed" {
+		t.Fatalf("breaker_state %q, want closed", got.Governor.BreakerState)
+	}
+	for _, key := range []string{"memory_budget", "breaker_open"} {
+		if _, present := got.Degradation[key]; !present {
+			t.Fatalf("degradation counter %q missing: %s", key, body)
+		}
+	}
+
+	e.Governor().SamplingBreaker().ForceOpen()
+	code, _, body = get(t, base+"/debug/health")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("open-breaker status %d, want 503", code)
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != "overloaded" || got.Governor.BreakerState != "open" {
+		t.Fatalf("open-breaker payload: status=%q breaker=%q", got.Status, got.Governor.BreakerState)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"repro/internal/executor"
 	"repro/internal/feedback"
 	"repro/internal/flightrec"
+	"repro/internal/govern"
 	"repro/internal/index"
 	"repro/internal/optimizer"
 	"repro/internal/qgm"
@@ -84,6 +85,13 @@ type Config struct {
 	// enabled later through Recorder(), but statements pay only one atomic
 	// load. Negative values select flightrec.DefaultCapacity.
 	FlightRecorderCapacity int
+	// Governor configures the resource governor: admission control
+	// (MaxConcurrent/QueueDepth), the engine-global memory pool, and the
+	// JITS sampling circuit breaker. The zero value disables all three.
+	// Its per-statement memory budget defaults to JITS.MemBudgetBytes, so
+	// setting only the JITS knob budget-bounds both sampling buffers and
+	// buffering executor operators.
+	Governor govern.Config
 }
 
 // ExecOptions tune one Exec call — the per-query session knobs.
@@ -129,6 +137,7 @@ type Engine struct {
 	selectCount  int64
 	tracer       *tracing.Tracer
 	recorder     *flightrec.Recorder
+	governor     *govern.Governor
 	parallelism  int
 	stmtTimeout  time.Duration
 	closed       atomic.Bool
@@ -165,6 +174,11 @@ func New(cfg Config) *Engine {
 	if cfg.FlightRecorderCapacity != 0 {
 		recorder.Enable()
 	}
+	if cfg.Governor.StatementMemBudgetBytes == 0 {
+		cfg.Governor.StatementMemBudgetBytes = cfg.JITS.MemBudgetBytes
+	}
+	governor := govern.New(cfg.Governor)
+	jits.BindBreaker(governor.SamplingBreaker())
 	e := &Engine{
 		db:           storage.NewDatabase(),
 		cat:          cat,
@@ -175,6 +189,7 @@ func New(cfg Config) *Engine {
 		migrateEvery: cfg.MigrateEvery,
 		tracer:       tracer,
 		recorder:     recorder,
+		governor:     governor,
 		parallelism:  cfg.Parallelism,
 		stmtTimeout:  cfg.StatementTimeout,
 	}
@@ -237,6 +252,11 @@ func (e *Engine) Recorder() *flightrec.Recorder { return e.recorder }
 // Closed reports whether Close has been called (the debug server's health
 // endpoint reads this).
 func (e *Engine) Closed() bool { return e.closed.Load() }
+
+// Governor exposes the resource governor (always non-nil; with the zero
+// Config.Governor it is a no-op governor whose snapshot reports everything
+// disabled). The debug server's health endpoint and tests read it.
+func (e *Engine) Governor() *govern.Governor { return e.governor }
 
 // TableSchema implements qgm.SchemaResolver.
 func (e *Engine) TableSchema(name string) (*storage.Schema, bool) {
@@ -315,6 +335,21 @@ func (e *Engine) ExecWithContext(ctx context.Context, sql string, opts ExecOptio
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Admission control: the statement queues (FIFO) for an execution slot
+	// before any work — parsing included — happens on its behalf. Shed
+	// statements fail with govern.ErrOverloaded; a statement cancelled while
+	// queued returns ctx.Err() and gives any concurrently granted slot back.
+	ticket, err := e.governor.Admit(ctx)
+	if err != nil {
+		stmtErrors.Inc()
+		return nil, err
+	}
+	defer ticket.Release()
+	// Per-statement memory reservation: sampling buffers and buffering
+	// executor operators charge it; Release returns any leak (an errored
+	// statement's outstanding charges) to the global pool.
+	mem := e.governor.NewReservation()
+	defer mem.Release()
 	dop := opts.Parallelism
 	if dop == 0 {
 		dop = e.parallelism
@@ -343,7 +378,7 @@ func (e *Engine) ExecWithContext(ctx context.Context, sql string, opts ExecOptio
 	case *sqlparser.SelectStmt:
 		kind = "select"
 		stmtSelect.Inc()
-		res, err = e.execSelect(ctx, s, sql, modeExecute, dop, ts, rec)
+		res, err = e.execSelect(ctx, s, sql, modeExecute, dop, ts, rec, mem)
 	case *sqlparser.ExplainStmt:
 		mode := modeExplain
 		if s.Analyze {
@@ -354,7 +389,7 @@ func (e *Engine) ExecWithContext(ctx context.Context, sql string, opts ExecOptio
 			kind = "explain"
 			stmtExplain.Inc()
 		}
-		res, err = e.execSelect(ctx, s.Select, sql, mode, dop, ts, rec)
+		res, err = e.execSelect(ctx, s.Select, sql, mode, dop, ts, rec, mem)
 	case *sqlparser.ShowStmt:
 		switch s.Kind {
 		case sqlparser.ShowStats:
@@ -401,9 +436,12 @@ func (e *Engine) ExecWithContext(ctx context.Context, sql string, opts ExecOptio
 		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
 	}
 	wall := time.Since(start)
+	govern.ObserveStatementPeak(mem.Peak())
 	if rec != nil {
 		rec.Kind = kind
 		rec.Wall = wall
+		rec.QueueWait = ticket.Wait()
+		rec.MemPeakBytes = mem.Peak()
 		if err != nil {
 			rec.Err = err.Error()
 		} else if res != nil {
@@ -509,7 +547,7 @@ func analyzeAnnotator(stats *executor.ExecStats, prep *core.PrepareReport) optim
 // rows, one per line. modeExplainAnalyze runs the full pipeline (execution,
 // feedback, reactive corrections, migration) and returns the plan text
 // annotated with each operator's actual rows, metered units and wall time.
-func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql string, mode execMode, dop int, ts int64, rec *flightrec.Record) (*Result, error) {
+func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql string, mode execMode, dop int, ts int64, rec *flightrec.Record, mem *govern.Reservation) (*Result, error) {
 	var compileMeter, execMeter costmodel.Meter
 
 	q, err := qgm.Build(stmt, e)
@@ -524,7 +562,7 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 	// reports fallback tables and the optimizer below transparently uses
 	// catalog statistics for them.
 	prepSpan := e.tracer.Start(ts, tracing.PhasePrepare)
-	qstats, prep, err := e.jits.Prepare(ctx, q, e.db, ts, &compileMeter, e.weights)
+	qstats, prep, err := e.jits.PrepareBudgeted(ctx, q, e.db, ts, &compileMeter, e.weights, mem)
 	if prep != nil {
 		prepSpan.Attr("tables", len(prep.Tables)).Attr("units", fmt.Sprintf("%.0f", compileMeter.Units()))
 	}
@@ -601,7 +639,7 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 		if mode == modeExplain {
 			continue
 		}
-		rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Ctx: ctx, Parallelism: dop, Stats: stats}
+		rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Ctx: ctx, Parallelism: dop, Stats: stats, Mem: mem}
 		innerRes, err := executor.Execute(inner, innerPlan, rt)
 		if err != nil {
 			optSpan.End()
@@ -659,7 +697,7 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 	}
 
 	execSpan := e.tracer.Start(ts, tracing.PhaseExecute)
-	rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Ctx: ctx, Parallelism: dop, Stats: stats}
+	rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Ctx: ctx, Parallelism: dop, Stats: stats, Mem: mem}
 	res, err := executor.Execute(blk, plan, rt)
 	if err != nil {
 		execSpan.End()

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/faultinject"
+	"repro/internal/govern"
 	"repro/internal/index"
 	"repro/internal/optimizer"
 	"repro/internal/qgm"
@@ -56,6 +57,12 @@ type Runtime struct {
 	// normal path: collection costs a meter read and a clock read per
 	// operator.
 	Stats *ExecStats
+	// Mem is the statement's memory reservation. Buffering operators (scan
+	// materialization, hash-join build, merge-join sort copies, aggregation
+	// state, ORDER BY scratch) charge it before allocating and fail with a
+	// wrapped govern.ErrMemoryBudget when the budget is exhausted. Nil (the
+	// default) disables accounting.
+	Mem *govern.Reservation
 }
 
 // dop returns the effective degree of parallelism (always >= 1).
@@ -90,6 +97,31 @@ func (rt *Runtime) charge(units float64) {
 		rt.Meter.Add(units)
 	}
 }
+
+// grow charges bytes against the statement's memory reservation. Charges are
+// enforced at operator boundaries — an operator reserves its output before
+// (or immediately after) materializing it, so accounted growth is bounded to
+// one operator's output beyond the budget check. A nil reservation is free.
+func (rt *Runtime) grow(bytes int64) error {
+	return rt.Mem.Grow(bytes)
+}
+
+// shrink returns transient scratch bytes (sort buffers) to the reservation.
+func (rt *Runtime) shrink(bytes int64) {
+	rt.Mem.Shrink(bytes)
+}
+
+// growRows charges n materialized rows of the given column width.
+func (rt *Runtime) growRows(n, cols int) error {
+	return rt.grow(int64(n) * govern.EstimateRowBytes(cols))
+}
+
+// rowHeaderBytes is the accounted cost of referencing (not copying) a row:
+// one slice header. Merge-join sort copies and ORDER BY scratch charge it.
+const rowHeaderBytes = 24
+
+// hashEntryBytes is the accounted per-entry cost of a hash-join build table.
+const hashEntryBytes = 48
 
 // NodeStats holds the runtime actuals of one plan operator. Units and Wall
 // are cumulative over the operator's subtree — the same convention the
@@ -334,6 +366,9 @@ func (ex *executor) runScan(n *optimizer.Scan) (*relation, error) {
 		}
 	}
 	ex.rt.charge(w.RowOut * float64(len(rel.rows)))
+	if err := ex.rt.growRows(len(rel.rows), rel.width); err != nil {
+		return nil, fmt.Errorf("executor: scan %s output: %w", n.Table, err)
+	}
 
 	if len(n.Preds) > 0 {
 		ex.actuals = append(ex.actuals, ScanActual{
@@ -441,6 +476,13 @@ func (ex *executor) runHashJoin(n *optimizer.Join) (*relation, error) {
 		rCols[i] = right.col(jp.RightSlot, jp.RightOrd)
 	}
 
+	// The build table references left rows rather than copying them, so its
+	// accounted cost is per-entry overhead — charged before building, which
+	// is where an under-budgeted join must stop.
+	if err := ex.rt.grow(hashEntryBytes * int64(len(left.rows))); err != nil {
+		return nil, fmt.Errorf("executor: hash join build: %w", err)
+	}
+
 	if ex.rt.dop() > 1 && len(left.rows)+len(right.rows) > ex.rt.morselSize() {
 		if err := ex.parallelHashJoin(left, right, rel, lCols, rCols); err != nil {
 			return nil, err
@@ -448,6 +490,9 @@ func (ex *executor) runHashJoin(n *optimizer.Join) (*relation, error) {
 		ex.rt.charge(w.HashBuild * float64(len(left.rows)))
 		ex.rt.charge(w.HashProbe * float64(len(right.rows)))
 		ex.rt.charge(w.RowOut * float64(len(rel.rows)))
+		if err := ex.rt.growRows(len(rel.rows), rel.width); err != nil {
+			return nil, fmt.Errorf("executor: hash join output: %w", err)
+		}
 		return rel, nil
 	}
 
@@ -470,6 +515,9 @@ func (ex *executor) runHashJoin(n *optimizer.Join) (*relation, error) {
 	}
 	ex.rt.charge(w.HashProbe * float64(len(right.rows)))
 	ex.rt.charge(w.RowOut * float64(len(rel.rows)))
+	if err := ex.rt.growRows(len(rel.rows), rel.width); err != nil {
+		return nil, fmt.Errorf("executor: hash join output: %w", err)
+	}
 	return rel, nil
 }
 
@@ -559,6 +607,9 @@ func (ex *executor) runIndexNLJoin(n *optimizer.Join) (*relation, error) {
 	}
 	ex.rt.charge(w.IndexRow * examined)
 	ex.rt.charge(w.RowOut * float64(len(rel.rows)))
+	if err := ex.rt.growRows(len(rel.rows), rel.width); err != nil {
+		return nil, fmt.Errorf("executor: index NL join output: %w", err)
+	}
 
 	if len(inner.Preds) > 0 {
 		ex.actuals = append(ex.actuals, ScanActual{
@@ -623,6 +674,11 @@ func (ex *executor) runMergeJoin(n *optimizer.Join) (*relation, error) {
 			rRows = append(rRows, r)
 		}
 	}
+	// The sorted side copies are row references; charge their headers before
+	// sorting (and keep them charged — the merge reads both sides fully).
+	if err := ex.rt.grow(rowHeaderBytes * int64(len(lRows)+len(rRows))); err != nil {
+		return nil, fmt.Errorf("executor: merge join sort: %w", err)
+	}
 	sortCharge := func(n int) {
 		if n > 1 {
 			ex.rt.charge(w.SortRow * float64(n) * math.Log2(float64(n)))
@@ -662,6 +718,9 @@ func (ex *executor) runMergeJoin(n *optimizer.Join) (*relation, error) {
 	}
 	ex.rt.charge(w.SeqRow * float64(len(lRows)+len(rRows)))
 	ex.rt.charge(w.RowOut * float64(len(rel.rows)))
+	if err := ex.rt.growRows(len(rel.rows), rel.width); err != nil {
+		return nil, fmt.Errorf("executor: merge join output: %w", err)
+	}
 	return rel, nil
 }
 
@@ -692,6 +751,9 @@ func (ex *executor) runNestedLoop(n *optimizer.Join) (*relation, error) {
 	}
 	ex.rt.charge(w.HashProbe * float64(len(left.rows)) * float64(len(right.rows)))
 	ex.rt.charge(w.RowOut * float64(len(rel.rows)))
+	if err := ex.rt.growRows(len(rel.rows), rel.width); err != nil {
+		return nil, fmt.Errorf("executor: nested loop output: %w", err)
+	}
 	return rel, nil
 }
 
@@ -914,6 +976,12 @@ func (ex *executor) aggregate(rel *relation) (*Result, error) {
 	}
 	groups, orderKeys := ga.groups, ga.order
 	ex.rt.charge(w.HashBuild * float64(len(rel.rows)))
+	// Aggregation state is charged after accumulation (operator-boundary
+	// enforcement: growth past the budget is bounded to this operator's
+	// grouped state, which is what the statement materializes from here on).
+	if err := ex.rt.grow(int64(len(groups)) * (64 + 96*int64(len(blk.Projections)))); err != nil {
+		return nil, fmt.Errorf("executor: aggregation state: %w", err)
+	}
 
 	// Global aggregate over empty input still yields one row.
 	if len(groups) == 0 && len(blk.GroupBy) == 0 {
@@ -1051,6 +1119,13 @@ func (ex *executor) orderResult(res *Result) error {
 	n := len(res.Rows)
 	if n > 1 {
 		ex.rt.charge(ex.rt.Weights.SortRow * float64(n) * math.Log2(float64(n)))
+		// Sort scratch (row headers) is transient: grown for the sort,
+		// returned right after.
+		scratch := rowHeaderBytes * int64(n)
+		if err := ex.rt.grow(scratch); err != nil {
+			return fmt.Errorf("executor: ORDER BY sort: %w", err)
+		}
+		defer ex.rt.shrink(scratch)
 	}
 	less := func(a, b []value.Datum) bool {
 		for _, k := range keys {

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/govern"
+	"repro/internal/workload"
+)
+
+// OverloadLevel is one concurrency level of the overload sweep: how the
+// governed engine behaved when the same statement mix arrived from
+// Concurrency clients at once.
+type OverloadLevel struct {
+	Concurrency int
+	Statements  int
+	// Admitted statements passed the gate and executed (successfully or
+	// not); Shed were refused with govern.ErrOverloaded before execution;
+	// Errors are admitted statements that still failed (typically a
+	// deadline expiring mid-execution).
+	Admitted int
+	Shed     int
+	Errors   int
+	// Degraded counts tables that fell back to catalog statistics across
+	// all admitted statements (sampling shrunk or skipped under load).
+	Degraded int
+	// P50 and P99 are wall-clock latency percentiles over every statement,
+	// shed ones included — the client-visible distribution.
+	P50 time.Duration
+	P99 time.Duration
+}
+
+// OverloadOptions tune the sweep beyond the shared experiment Options.
+type OverloadOptions struct {
+	// GateSize is the admission gate's MaxConcurrent (queue depth is twice
+	// that). Default 4.
+	GateSize int
+	// Levels are the client concurrency levels to sweep. Default
+	// {1, 2×gate, 8×gate}.
+	Levels []int
+	// StatementTimeout bounds each statement; the deadline-aware queue
+	// sheds statements predicted to miss it. Default 250ms.
+	StatementTimeout time.Duration
+}
+
+func (o OverloadOptions) withDefaults() OverloadOptions {
+	if o.GateSize <= 0 {
+		o.GateSize = 4
+	}
+	if len(o.Levels) == 0 {
+		o.Levels = []int{1, 2 * o.GateSize, 8 * o.GateSize}
+	}
+	if o.StatementTimeout <= 0 {
+		o.StatementTimeout = 250 * time.Millisecond
+	}
+	return o
+}
+
+// Overload sweeps client concurrency against a governed engine: per level it
+// replays the same SELECT workload from N concurrent clients through an
+// admission gate of GateSize slots and reports admitted/shed/degraded counts
+// with client-visible latency percentiles. Each level gets a fresh engine so
+// its gate counters and archive state are independent — the sweep compares
+// levels, not accumulation.
+func Overload(opts Options, oo OverloadOptions) ([]OverloadLevel, error) {
+	oo = oo.withDefaults()
+	var out []OverloadLevel
+	for _, conc := range oo.Levels {
+		lvl, err := overloadLevel(opts, oo, conc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lvl)
+	}
+	return out, nil
+}
+
+func overloadLevel(opts Options, oo OverloadOptions, conc int) (OverloadLevel, error) {
+	cfg := engine.Config{
+		JITS:             opts.jitsConfig(),
+		Parallelism:      opts.Parallelism,
+		Trace:            opts.Trace,
+		StatementTimeout: oo.StatementTimeout,
+		Governor: govern.Config{
+			MaxConcurrent: oo.GateSize,
+			QueueDepth:    2 * oo.GateSize,
+		},
+	}
+	e := opts.newEngine(cfg)
+	d, err := workload.Load(e, workload.Spec{Scale: opts.Scale, Seed: opts.Seed})
+	if err != nil {
+		return OverloadLevel{}, err
+	}
+	stmts := d.Queries(opts.Queries, opts.Seed)
+
+	lvl := OverloadLevel{Concurrency: conc, Statements: len(stmts)}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		walls    []time.Duration
+		admitted int
+		shed     int
+		errsN    int
+		degraded int
+		wg       sync.WaitGroup
+	)
+	if conc < 1 {
+		conc = 1
+	}
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(stmts) {
+					return
+				}
+				start := time.Now()
+				res, err := e.Exec(stmts[i].SQL)
+				wall := time.Since(start)
+				mu.Lock()
+				walls = append(walls, wall)
+				switch {
+				case err == nil:
+					admitted++
+					if res.Prepare != nil {
+						degraded += res.Prepare.DegradedTables()
+					}
+				case errors.Is(err, govern.ErrOverloaded):
+					shed++
+				default:
+					admitted++ // past the gate, failed during execution
+					errsN++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	lvl.Admitted, lvl.Shed, lvl.Errors, lvl.Degraded = admitted, shed, errsN, degraded
+
+	sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+	pct := func(p float64) time.Duration {
+		if len(walls) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(walls)-1))
+		return walls[i]
+	}
+	lvl.P50, lvl.P99 = pct(0.50), pct(0.99)
+	return lvl, nil
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOverloadQuick runs a miniature concurrency sweep and pins the
+// invariants the experiment's CSV consumers depend on: every statement is
+// accounted exactly once (admitted + shed = statements), percentiles are
+// ordered, and the serial level sheds nothing.
+func TestOverloadQuick(t *testing.T) {
+	opts := QuickOptions()
+	opts.Queries = 40
+	levels, err := Overload(opts, OverloadOptions{
+		GateSize:         2,
+		Levels:           []int{1, 8},
+		StatementTimeout: 30 * time.Second, // generous: this test is about accounting, not shedding
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 2 {
+		t.Fatalf("levels = %d, want 2", len(levels))
+	}
+	for _, lvl := range levels {
+		if lvl.Statements != 40 {
+			t.Fatalf("level %d ran %d statements, want 40", lvl.Concurrency, lvl.Statements)
+		}
+		if lvl.Admitted+lvl.Shed != lvl.Statements {
+			t.Fatalf("level %d: admitted %d + shed %d != statements %d",
+				lvl.Concurrency, lvl.Admitted, lvl.Shed, lvl.Statements)
+		}
+		if lvl.Errors > lvl.Admitted {
+			t.Fatalf("level %d: errors %d exceed admitted %d", lvl.Concurrency, lvl.Errors, lvl.Admitted)
+		}
+		if lvl.P50 > lvl.P99 {
+			t.Fatalf("level %d: p50 %v > p99 %v", lvl.Concurrency, lvl.P50, lvl.P99)
+		}
+	}
+	if levels[0].Concurrency != 1 || levels[1].Concurrency != 8 {
+		t.Fatalf("level order: %+v", levels)
+	}
+	// One client can never contend with itself: nothing sheds at level 1.
+	if levels[0].Shed != 0 || levels[0].Errors != 0 {
+		t.Fatalf("serial level shed %d / errored %d", levels[0].Shed, levels[0].Errors)
+	}
+}

@@ -49,11 +49,17 @@ const (
 	// ArchiveLoad corrupts the payload read back during LoadArchive before
 	// checksum verification, simulating media corruption at rest.
 	ArchiveLoad Point = "archive.load"
+	// GovernPressure shrinks a statement's effective memory budget
+	// mid-statement (the resource governor probes it on every reservation
+	// growth): the moral equivalent of a neighbouring workload stealing the
+	// buffer pool. Statements must respond by degrading or failing with the
+	// typed govern.ErrMemoryBudget — never by panicking or growing anyway.
+	GovernPressure Point = "govern.pressure"
 )
 
 // Points returns all registered fault points in deterministic order.
 func Points() []Point {
-	return []Point{StorageScan, SamplingRows, WorkerPanic, MorselLatency, ArchiveSave, ArchiveLoad}
+	return []Point{StorageScan, SamplingRows, WorkerPanic, MorselLatency, ArchiveSave, ArchiveLoad, GovernPressure}
 }
 
 // Spec is one point's firing schedule: the probe fires on every Every-th

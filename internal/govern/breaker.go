@@ -1,0 +1,307 @@
+package govern
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's state.
+type BreakerState int
+
+// The breaker states. Closed means sampling runs normally; Open means
+// compile-time QSS collection is tripped off (catalog-only mode); HalfOpen
+// lets a bounded number of probe statements sample again to test recovery.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerHalfOpen
+	BreakerOpen
+)
+
+// String renders the state for health endpoints and SHOW METRICS labels.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig configures the JITS sampling circuit breaker. The zero
+// value disables it.
+type BreakerConfig struct {
+	// LatencyThreshold enables the breaker when > 0: the breaker trips when
+	// the rolling mean sampling latency exceeds it (and sampling is not
+	// clearly paying for itself — see GainFloor).
+	LatencyThreshold time.Duration
+	// Window is the rolling window size over sampling latencies and
+	// feedback error factors. Default 16.
+	Window int
+	// MinSamples is how many latency observations the window needs before
+	// the breaker may trip. Default Window/2.
+	MinSamples int
+	// OpenFor is how long the breaker stays open before allowing half-open
+	// probes. Default 5s.
+	OpenFor time.Duration
+	// HalfOpenProbes is how many probe statements must sample fast before
+	// the breaker closes again. Default 2.
+	HalfOpenProbes int
+	// GainFloor guards against tripping while sampling is visibly earning
+	// its cost: if the rolling mean feedback error factor exceeds GainFloor
+	// (catalog estimates are badly off), slow sampling is tolerated and the
+	// breaker stays closed. Default 4.
+	GainFloor float64
+}
+
+func (c BreakerConfig) enabled() bool { return c.LatencyThreshold > 0 }
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = c.Window / 2
+		if c.MinSamples < 1 {
+			c.MinSamples = 1
+		}
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 2
+	}
+	if c.GainFloor <= 0 {
+		c.GainFloor = 4
+	}
+	return c
+}
+
+// Breaker is a closed→open→half-open circuit breaker over JITS compile-time
+// sampling. It watches two rolling signals: per-table sampling latency and
+// the feedback error factor (how wrong estimates were at runtime). Under
+// sustained slow sampling that is not buying better estimates, it opens and
+// JITS answers from catalog stats only (counted as degradation, never an
+// error). After OpenFor it admits HalfOpenProbes probe statements; if they
+// sample fast the breaker closes, if not it reopens.
+//
+// All methods are nil-receiver safe: a nil breaker is permanently closed.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     BreakerState
+	openedAt  time.Time
+	probes    int // successful half-open probes so far
+	inProbe   int // probe permits handed out and not yet reported
+	latencies ring
+	errFacs   ring
+
+	// now is injectable for deterministic state-machine tests.
+	now func() time.Time
+}
+
+// ring is a fixed-capacity rolling window with an incremental sum.
+type ring struct {
+	buf []float64
+	n   int // filled entries
+	i   int // next write position
+	sum float64
+}
+
+func (r *ring) push(v float64) {
+	if r.n < len(r.buf) {
+		r.buf[r.i] = v
+		r.sum += v
+		r.n++
+	} else {
+		r.sum += v - r.buf[r.i]
+		r.buf[r.i] = v
+	}
+	r.i = (r.i + 1) % len(r.buf)
+}
+
+func (r *ring) mean() (float64, bool) {
+	if r.n == 0 {
+		return 0, false
+	}
+	return r.sum / float64(r.n), true
+}
+
+func (r *ring) reset() {
+	r.n, r.i, r.sum = 0, 0, 0
+}
+
+// NewBreaker builds a breaker from cfg (defaults applied). Returns a closed
+// breaker; a zero-LatencyThreshold config should not reach here (Governor
+// leaves the breaker nil), but such a breaker simply never trips.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{
+		cfg:       cfg,
+		latencies: ring{buf: make([]float64, cfg.Window)},
+		errFacs:   ring{buf: make([]float64, cfg.Window)},
+		now:       time.Now,
+	}
+}
+
+// SetClock injects a deterministic clock for tests.
+func (b *Breaker) SetClock(now func() time.Time) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.now = now
+	b.mu.Unlock()
+}
+
+// State returns the current state, applying the open→half-open time
+// transition so callers observe it without a probe.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked()
+	return b.state
+}
+
+// Allow reports whether a statement may pay compile-time sampling cost.
+// Closed: yes. Open: no, until OpenFor elapses and the breaker moves to
+// half-open. Half-open: yes for up to HalfOpenProbes outstanding probes,
+// no for everyone else. A nil breaker always allows.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.inProbe+b.probes < b.cfg.HalfOpenProbes {
+			b.inProbe++
+			mBreakerProbes.Inc()
+			return true
+		}
+		return false
+	default: // BreakerOpen
+		return false
+	}
+}
+
+// maybeHalfOpenLocked applies the open→half-open transition once OpenFor has
+// elapsed. Caller holds b.mu.
+func (b *Breaker) maybeHalfOpenLocked() {
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.OpenFor {
+		b.setStateLocked(BreakerHalfOpen)
+		b.probes = 0
+		b.inProbe = 0
+	}
+}
+
+// RecordSampling feeds one sampling-pass latency (a statement's per-table
+// sampling wall time) into the breaker.
+//
+// Closed: pushes into the rolling window and trips to open when the window
+// has MinSamples, its mean exceeds LatencyThreshold, and the rolling mean
+// feedback error factor does not exceed GainFloor (sampling that is fixing
+// badly wrong estimates is worth being slow for; an empty error-factor
+// window counts as perfect estimates, so latency alone can trip).
+//
+// Half-open: this is a probe reporting back. Latency at or under the
+// threshold is a success — after HalfOpenProbes successes the breaker
+// closes and both windows reset. Latency over the threshold reopens it.
+func (b *Breaker) RecordSampling(d time.Duration) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked()
+	switch b.state {
+	case BreakerClosed:
+		b.latencies.push(d.Seconds())
+		if b.latencies.n < b.cfg.MinSamples {
+			return
+		}
+		meanLat, _ := b.latencies.mean()
+		if meanLat <= b.cfg.LatencyThreshold.Seconds() {
+			return
+		}
+		if meanEF, ok := b.errFacs.mean(); ok && meanEF > b.cfg.GainFloor {
+			return
+		}
+		b.tripLocked()
+	case BreakerHalfOpen:
+		if b.inProbe > 0 {
+			b.inProbe--
+		}
+		if d <= b.cfg.LatencyThreshold {
+			b.probes++
+			if b.probes >= b.cfg.HalfOpenProbes {
+				b.setStateLocked(BreakerClosed)
+				b.latencies.reset()
+				b.errFacs.reset()
+			}
+		} else {
+			b.tripLocked()
+		}
+	}
+}
+
+// RecordErrorFactor feeds one feedback error factor (actual/estimated
+// cardinality ratio, >= 1) into the gain window.
+func (b *Breaker) RecordErrorFactor(f float64) {
+	if b == nil || f <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.errFacs.push(f)
+	b.mu.Unlock()
+}
+
+// ForceOpen trips the breaker immediately — an operator/test hook.
+func (b *Breaker) ForceOpen() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tripLocked()
+	b.mu.Unlock()
+}
+
+// tripLocked moves to open and stamps the open time. Caller holds b.mu.
+func (b *Breaker) tripLocked() {
+	b.setStateLocked(BreakerOpen)
+	b.openedAt = b.now()
+	b.probes = 0
+	b.inProbe = 0
+	mBreakerTrips.Inc()
+}
+
+// setStateLocked updates the state and its gauge. Caller holds b.mu.
+func (b *Breaker) setStateLocked(s BreakerState) {
+	b.state = s
+	mBreakerState.Set(float64(stateGauge(s)))
+}
+
+// stateGauge maps states to the exported gauge values: 0 closed,
+// 1 half-open, 2 open.
+func stateGauge(s BreakerState) int {
+	switch s {
+	case BreakerHalfOpen:
+		return 1
+	case BreakerOpen:
+		return 2
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,181 @@
+package govern
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is the injectable deterministic clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testBreakerConfig() BreakerConfig {
+	return BreakerConfig{
+		LatencyThreshold: 10 * time.Millisecond,
+		Window:           4,
+		MinSamples:       2,
+		OpenFor:          time.Second,
+		HalfOpenProbes:   2,
+	}
+}
+
+func newTestBreaker(t *testing.T) (*Breaker, *fakeClock) {
+	t.Helper()
+	b := NewBreaker(testBreakerConfig())
+	clk := newFakeClock()
+	b.SetClock(clk.now)
+	return b, clk
+}
+
+func TestBreakerTripsOnSlowSampling(t *testing.T) {
+	b, _ := newTestBreaker(t)
+	if !b.Allow() {
+		t.Fatal("fresh breaker denies sampling")
+	}
+	b.RecordSampling(50 * time.Millisecond)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("tripped below MinSamples: state=%v", got)
+	}
+	b.RecordSampling(50 * time.Millisecond)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("two slow samples: state=%v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allows sampling")
+	}
+}
+
+func TestBreakerFastSamplingStaysClosed(t *testing.T) {
+	b, _ := newTestBreaker(t)
+	for i := 0; i < 20; i++ {
+		b.RecordSampling(time.Millisecond)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("fast sampling: state=%v, want closed", got)
+	}
+}
+
+func TestBreakerGainFloorGuardsTrip(t *testing.T) {
+	b, _ := newTestBreaker(t) // GainFloor defaults to 4
+	// Feedback says catalog estimates are badly off — sampling is earning
+	// its cost, so slow sampling must be tolerated.
+	for i := 0; i < 4; i++ {
+		b.RecordErrorFactor(50)
+	}
+	for i := 0; i < 8; i++ {
+		b.RecordSampling(50 * time.Millisecond)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("slow-but-valuable sampling tripped the breaker: state=%v", got)
+	}
+	// Once feedback says estimates are fine, the same latency trips it.
+	for i := 0; i < 4; i++ {
+		b.RecordErrorFactor(1)
+	}
+	b.RecordSampling(50 * time.Millisecond)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("slow low-gain sampling: state=%v, want open", got)
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	b, clk := newTestBreaker(t)
+	b.ForceOpen()
+	if b.Allow() {
+		t.Fatal("open breaker allows sampling")
+	}
+
+	clk.advance(999 * time.Millisecond)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("before OpenFor elapsed: state=%v, want open", got)
+	}
+	clk.advance(time.Millisecond)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("after OpenFor: state=%v, want half-open", got)
+	}
+
+	// Exactly HalfOpenProbes permits, no more while they are outstanding.
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open breaker denied its probes")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker over-issued probe permits")
+	}
+
+	b.RecordSampling(time.Millisecond)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("one good probe closed the breaker early: state=%v", got)
+	}
+	b.RecordSampling(time.Millisecond)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("after %d good probes: state=%v, want closed", b.cfg.HalfOpenProbes, got)
+	}
+	if !b.Allow() {
+		t.Fatal("recovered breaker denies sampling")
+	}
+	// Recovery reset the windows: it takes MinSamples fresh slow samples to
+	// trip again, not one.
+	b.RecordSampling(50 * time.Millisecond)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("windows not reset on recovery: state=%v", got)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(t)
+	b.ForceOpen()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker denied its probe")
+	}
+	b.RecordSampling(time.Minute) // the probe was slow: reopen
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("slow probe: state=%v, want open", got)
+	}
+	// The reopen restarts the OpenFor timer from the failed probe.
+	clk.advance(500 * time.Millisecond)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("reopened breaker moved to half-open early: state=%v", got)
+	}
+	clk.advance(500 * time.Millisecond)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("reopened breaker never re-probed: state=%v", got)
+	}
+}
+
+func TestBreakerNilSafe(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() {
+		t.Fatal("nil breaker must always allow")
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("nil breaker state=%v", got)
+	}
+	b.RecordSampling(time.Hour)
+	b.RecordErrorFactor(100)
+	b.ForceOpen()
+	b.SetClock(time.Now)
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	cases := map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerHalfOpen: "half-open",
+		BreakerOpen:     "open",
+		BreakerState(7): "unknown",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Fatalf("%d.String()=%q, want %q", int(s), got, want)
+		}
+	}
+	if stateGauge(BreakerClosed) != 0 || stateGauge(BreakerHalfOpen) != 1 || stateGauge(BreakerOpen) != 2 {
+		t.Fatal("stateGauge mapping changed; SHOW METRICS consumers depend on 0/1/2")
+	}
+}

@@ -1,0 +1,68 @@
+package govern
+
+import (
+	"repro/internal/metrics"
+)
+
+// Governor instruments, registered at package init like every other
+// subsystem; free when the registry is disabled (one atomic load per probe).
+var (
+	mAdmitted = metrics.Default().Counter(
+		"govern_admitted_total",
+		"Statements admitted through the admission gate.")
+	mShed = metrics.Default().CounterVec(
+		"govern_shed_total",
+		"Statements shed by admission control, by reason.",
+		"reason")
+	mQueueCancelled = metrics.Default().Counter(
+		"govern_queue_cancelled_total",
+		"Statements cancelled by their caller while waiting in the admission queue.")
+	mQueueWait = metrics.Default().Histogram(
+		"govern_queue_wait_seconds",
+		"Time statements spent waiting in the admission queue.",
+		metrics.LatencyBuckets())
+	mQueueDepth = metrics.Default().Gauge(
+		"govern_queue_depth",
+		"Current admission queue depth.")
+	mInFlight = metrics.Default().Gauge(
+		"govern_in_flight",
+		"Statements currently holding an admission slot.")
+	mGlobalMemUsed = metrics.Default().Gauge(
+		"govern_global_mem_used_bytes",
+		"Bytes currently reserved from the engine-global memory pool.")
+	mStatementMemPeak = metrics.Default().Histogram(
+		"govern_statement_mem_peak_bytes",
+		"Per-statement peak reserved bytes.",
+		memBuckets())
+	mMemDenied = metrics.Default().Counter(
+		"govern_mem_denied_total",
+		"Reservation growths denied by the statement budget or global pool.")
+	mPressureShrinks = metrics.Default().Counter(
+		"govern_pressure_shrinks_total",
+		"Mid-statement budget shrinks injected by the govern.pressure fault.")
+	mBreakerState = metrics.Default().Gauge(
+		"govern_breaker_state",
+		"JITS sampling breaker state: 0 closed, 1 half-open, 2 open.")
+	mBreakerTrips = metrics.Default().Counter(
+		"govern_breaker_trips_total",
+		"Times the JITS sampling breaker tripped open.")
+	mBreakerProbes = metrics.Default().Counter(
+		"govern_breaker_probes_total",
+		"Half-open probe statements admitted to test sampling recovery.")
+)
+
+// ObserveStatementPeak records a finished statement's peak reservation.
+func ObserveStatementPeak(peak int64) {
+	if peak > 0 {
+		mStatementMemPeak.Observe(float64(peak))
+	}
+}
+
+// memBuckets spans 1 KiB .. 256 MiB in powers of four.
+func memBuckets() []float64 {
+	out := make([]float64, 0, 10)
+	for b := float64(1024); b <= 256<<20; b *= 4 {
+		out = append(out, b)
+	}
+	return out
+}

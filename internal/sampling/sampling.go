@@ -108,6 +108,21 @@ func New(seed int64) *Sampler {
 	return &Sampler{rng: rand.New(rand.NewSource(seed))}
 }
 
+// EffectiveSampleRows reports how many rows a sample request for size rows
+// from a tableRows-row table will actually materialize: tables smaller than
+// twice the sample size are copied whole (cheaper than distinct-pick
+// bookkeeping). Memory accounting must reserve for this number, not for the
+// nominal size.
+func EffectiveSampleRows(tableRows, size int) int {
+	if tableRows <= 0 || size <= 0 {
+		return 0
+	}
+	if tableRows <= size*2 {
+		return tableRows
+	}
+	return size
+}
+
 // Rows draws up to size rows from the table. Tables smaller than twice the
 // sample size are copied whole (cheaper than distinct-pick bookkeeping);
 // larger tables are sampled uniformly without replacement. The meter is
@@ -144,7 +159,7 @@ func (s *Sampler) RowsParallel(tbl *storage.Table, size int, meter *costmodel.Me
 	if n == 0 || size <= 0 {
 		return nil
 	}
-	if n <= size*2 {
+	if EffectiveSampleRows(n, size) == n {
 		// Copy the table whole, morsel-parallel in storage order.
 		chunks := (n + evalMorselSize - 1) / evalMorselSize
 		buckets := make([][][]value.Datum, chunks)

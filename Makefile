@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke debug-smoke overload-smoke fuzz chaos check
+.PHONY: all build test race vet bench bench-smoke debug-smoke overload-smoke serve-smoke fuzz chaos check
 
 all: build
 
@@ -47,6 +47,17 @@ overload-smoke:
 	$(GO) test -race -count=1 -run 'TestGate|TestBreaker|TestReservation|TestStatementMemoryBudget|TestSamplingShrinks|TestAdmissionOverload|TestCancelWhileQueued|TestBreakerTripsEndToEnd|TestChaosGovernPressure|TestOverloadQuick' \
 		./internal/govern/ ./internal/engine/ ./internal/experiments/
 
+# SQL service proofs under the race detector: the wire codec, the
+# multi-session server (smoke, raw frames, concurrent-session stress,
+# close-drains-governor), the plan cache (unit + property + engine
+# end-to-end: DML invalidation, normalization sharing), SQL normalization,
+# and the serving-throughput experiment. CI runs this target.
+serve-smoke:
+	$(GO) test -race -count=1 \
+		-run 'TestWire|TestServe|TestSession|TestServerClose|TestPlanCache|TestNormalize|TestShowQueriesQIDs' \
+		./internal/wire/ ./internal/server/ ./internal/client/ ./internal/plancache/ \
+		./internal/sqlparser/ ./internal/engine/ ./internal/experiments/
+
 # Short live run of the serial-vs-parallel differential fuzzer; the seed
 # corpus alone is replayed by every plain `make test`.
 fuzz:
@@ -59,4 +70,4 @@ fuzz:
 chaos:
 	$(GO) test -run Chaos -count=2 ./...
 
-check: build vet test race
+check: build vet test race serve-smoke

@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	jitsbench [-exp all|table2|table3|fig3|fig4|fig5|fig6|oltp|parallel|overload]
+//	jitsbench [-exp all|table2|table3|fig3|fig4|fig5|fig6|oltp|parallel|overload|serve]
 //	          [-scale 0.01] [-queries 840] [-seed 42] [-smax 0.5]
 //	          [-sample 2000] [-csv dir] [-pergroup] [-parallelism 1]
 //	          [-gate 4] [-trace file|-] [-metrics] [-debug-addr host:port]
-//	          [-debug-linger 0s]
+//	          [-debug-linger 0s] [-sessions 1,2,4,8] [-plan-cache -1]
+//	jitsbench -serve host:port   [-scale ...] [-plan-cache ...] [-debug-addr ...]
+//	jitsbench -connect host:port
 //
 // -csv writes every figure's data as CSV files for plotting; -pergroup
 // charges collection per candidate group (the paper prototype's cost
@@ -32,6 +34,15 @@
 // admitted/shed/degraded counts and client-visible p50/p99 latency per
 // level, writing overload.csv under -csv. It is excluded from "all" because
 // its wall-clock behavior is host-dependent; run it explicitly.
+//
+// -serve starts the multi-session SQL service (internal/server) on the
+// given address over a freshly loaded workload dataset and blocks until
+// SIGINT/SIGTERM; -plan-cache sizes the engine's compiled-plan cache (0
+// off, -1 default, n entries). -connect opens an interactive line-based SQL
+// session against a running server. The "serve" experiment sweeps -sessions
+// concurrent client sessions × plan cache off/on against a real server and
+// writes serve.csv; like "overload" it is wall-clock dependent and excluded
+// from "all".
 //
 // -debug-addr starts the embedded debug HTTP server (see
 // internal/debugserver) on the given address (port 0 picks a free port; the
@@ -76,6 +87,10 @@ func main() {
 		gate     = flag.Int("gate", 4, "admission gate size for -exp overload (MaxConcurrent; queue depth is twice this)")
 		debugF   = flag.String("debug-addr", "", "start the embedded debug HTTP server on this address (port 0 picks a free port)")
 		lingerF  = flag.Duration("debug-linger", 0, "keep the process alive this long after the experiments finish (requires -debug-addr)")
+		serveF   = flag.String("serve", "", "serve SQL sessions on this address (port 0 picks a free port) instead of running experiments")
+		connectF = flag.String("connect", "", "connect an interactive SQL session to a running server at this address")
+		planCF   = flag.Int("plan-cache", -1, "compiled-plan cache size for -serve (0 disables, -1 selects the default size)")
+		sessF    = flag.String("sessions", "1,2,4,8", "comma-separated session counts for -exp serve")
 	)
 	flag.Parse()
 	csvDir = *csvDirF
@@ -132,6 +147,7 @@ func main() {
 		defer srv.Close()
 		opts.FlightRecorder = -1 // default ring capacity
 		opts.OnEngine = srv.SetEngine
+		dbgSrv = srv
 		fmt.Printf("jitsbench: debug server listening on %s\n", addr)
 		if *lingerF > 0 {
 			defer func() {
@@ -140,6 +156,21 @@ func main() {
 			}()
 		}
 	}
+	if *connectF != "" {
+		if err := connectMode(*connectF); err != nil {
+			fmt.Fprintln(os.Stderr, "jitsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *serveF != "" {
+		if err := serveMode(opts, *serveF, *planCF); err != nil {
+			fmt.Fprintln(os.Stderr, "jitsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("jitsbench: scale=%g queries=%d seed=%d smax=%g sample=%d pergroup=%v parallelism=%d\n\n",
 		opts.Scale, opts.Queries, opts.Seed, opts.SMax, opts.SampleSize, opts.PerGroupSampling, opts.Parallelism)
 
@@ -165,6 +196,9 @@ func main() {
 	run("parallel", func() error { return parallelSpeedup(opts) })
 	if *exp == "overload" { // opt-in: wall-clock heavy, so "all" skips it
 		run("overload", func() error { return overload(opts, *gate) })
+	}
+	if *exp == "serve" { // opt-in for the same reason: real TCP wall clock
+		run("serve", func() error { return serveExperiment(opts, *sessF) })
 	}
 }
 

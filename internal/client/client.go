@@ -1,0 +1,182 @@
+// Package client is the Go client for the internal/server SQL service. It
+// speaks the internal/wire frame protocol over TCP and presents results in
+// engine terms: typed value.Datum rows (floats round-trip bit-exactly), the
+// plan text, the compile/exec cost split, and the JITS degradation flags.
+//
+// Typed server errors are resurrected as wrapped sentinels, so a remote
+// caller's error handling is identical to an embedded caller's:
+//
+//	_, err := conn.Query("SELECT ...")
+//	if errors.Is(err, govern.ErrOverloaded) { backoff() }
+//
+// A Conn is safe for concurrent use; the protocol is strictly
+// request/response, so concurrent calls serialize on an internal mutex.
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// Result is one statement's outcome, decoded from the wire.
+type Result struct {
+	Columns        []string
+	Rows           [][]value.Datum
+	RowsAffected   int
+	Plan           string
+	CompileSeconds float64
+	ExecSeconds    float64
+	Degraded       bool
+	DegradedTables []string
+	PlanCacheHit   bool
+}
+
+// Error is a typed failure from the server. Unwrap exposes the sentinel
+// the wire code stands for (govern.ErrOverloaded, govern.ErrMemoryBudget,
+// engine.ErrClosed, context.DeadlineExceeded), when there is one.
+type Error struct {
+	Code    string
+	Message string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("server: %s (%s)", e.Message, e.Code) }
+
+// Unwrap lets errors.Is match the engine sentinel behind the wire code.
+func (e *Error) Unwrap() error { return wire.BaseError(e.Code) }
+
+// Conn is one client session.
+type Conn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial opens a session to a server at addr.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return &Conn{conn: c}, nil
+}
+
+// roundTrip sends one request frame and reads its response frame.
+func (c *Conn) roundTrip(req *wire.Request) (*wire.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, fmt.Errorf("client: connection closed")
+	}
+	if err := wire.WriteFrame(c.conn, req); err != nil {
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	var resp wire.Response
+	if err := wire.ReadFrame(c.conn, &resp); err != nil {
+		return nil, fmt.Errorf("client: recv: %w", err)
+	}
+	return &resp, nil
+}
+
+// resultOrError unpacks a response expected to carry a result frame.
+func resultOrError(resp *wire.Response) (*Result, error) {
+	switch resp.Type {
+	case wire.RespError:
+		return nil, &Error{Code: resp.Error.Code, Message: resp.Error.Message}
+	case wire.RespResult:
+		rows, err := wire.DecodeRows(resp.Result.Rows)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Columns:        resp.Result.Columns,
+			Rows:           rows,
+			RowsAffected:   resp.Result.RowsAffected,
+			Plan:           resp.Result.Plan,
+			CompileSeconds: resp.Result.CompileSeconds,
+			ExecSeconds:    resp.Result.ExecSeconds,
+			Degraded:       resp.Result.Degraded,
+			DegradedTables: resp.Result.DegradedTables,
+			PlanCacheHit:   resp.Result.PlanCacheHit,
+		}, nil
+	default:
+		return nil, fmt.Errorf("client: unexpected response type %q", resp.Type)
+	}
+}
+
+// Query runs one SQL statement.
+func (c *Conn) Query(sql string) (*Result, error) {
+	resp, err := c.roundTrip(&wire.Request{Type: wire.ReqQuery, SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	return resultOrError(resp)
+}
+
+// Stmt is a server-side prepared statement handle.
+type Stmt struct {
+	c  *Conn
+	id int64
+}
+
+// Prepare registers sql as a prepared statement in this session.
+func (c *Conn) Prepare(sql string) (*Stmt, error) {
+	resp, err := c.roundTrip(&wire.Request{Type: wire.ReqPrepare, SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	switch resp.Type {
+	case wire.RespError:
+		return nil, &Error{Code: resp.Error.Code, Message: resp.Error.Message}
+	case wire.RespPrepared:
+		return &Stmt{c: c, id: resp.StmtID}, nil
+	default:
+		return nil, fmt.Errorf("client: unexpected response type %q", resp.Type)
+	}
+}
+
+// Execute runs the prepared statement.
+func (st *Stmt) Execute() (*Result, error) {
+	resp, err := st.c.roundTrip(&wire.Request{Type: wire.ReqExecute, StmtID: st.id})
+	if err != nil {
+		return nil, err
+	}
+	return resultOrError(resp)
+}
+
+// SetOptions sets the session's execution options: parallelism 0 keeps the
+// engine default (1 forces serial), timeout 0 keeps the engine default.
+func (c *Conn) SetOptions(parallelism int, timeout time.Duration) error {
+	resp, err := c.roundTrip(&wire.Request{
+		Type:        wire.ReqOptions,
+		Parallelism: parallelism,
+		TimeoutMS:   int64(timeout / time.Millisecond),
+	})
+	if err != nil {
+		return err
+	}
+	if resp.Type == wire.RespError {
+		return &Error{Code: resp.Error.Code, Message: resp.Error.Message}
+	}
+	return nil
+}
+
+// Close ends the session: a close frame is sent (best effort) and the
+// connection is torn down. Safe to call twice.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	if err := wire.WriteFrame(c.conn, &wire.Request{Type: wire.ReqClose}); err == nil {
+		var resp wire.Response
+		_ = wire.ReadFrame(c.conn, &resp)
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

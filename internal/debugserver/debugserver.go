@@ -10,6 +10,7 @@
 //	GET /debug/archive   QSS archive histograms as JSON
 //	GET /debug/queries   flight-recorder records + post-mortems as JSON
 //	GET /debug/health    engine open/closed + degradation counters as JSON
+//	GET /debug/sessions  live SQL-service sessions as JSON (when serving)
 //
 // The server holds the engine behind an atomic pointer: endpoints stay safe
 // (and merely report "closed") while the engine shuts down, and a test can
@@ -34,8 +35,13 @@ import (
 // Start, stop with Close.
 type Server struct {
 	eng atomic.Pointer[engine.Engine]
-	ln  net.Listener
-	srv *http.Server
+	// sessions supplies the live SQL-service session snapshots for
+	// /debug/sessions; nil until a server is attached. Held as a pointer so
+	// attachment is race-free against in-flight requests, and typed as a
+	// closure so this package needs no dependency on internal/server.
+	sessions atomic.Pointer[func() any]
+	ln       net.Listener
+	srv      *http.Server
 }
 
 // New returns an unstarted server for the given engine (which may be nil
@@ -50,6 +56,7 @@ func New(eng *engine.Engine) *Server {
 	mux.HandleFunc("/debug/archive", s.handleArchive)
 	mux.HandleFunc("/debug/queries", s.handleQueries)
 	mux.HandleFunc("/debug/health", s.handleHealth)
+	mux.HandleFunc("/debug/sessions", s.handleSessions)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -66,6 +73,16 @@ func (s *Server) SetEngine(eng *engine.Engine) {
 		return
 	}
 	s.eng.Store(eng)
+}
+
+// SetSessionSource attaches the SQL service's session snapshot function
+// (typically server.Sessions wrapped to return any); nil detaches it.
+func (s *Server) SetSessionSource(fn func() any) {
+	if fn == nil {
+		s.sessions.Store(nil)
+		return
+	}
+	s.sessions.Store(&fn)
 }
 
 // Start begins listening on addr (host:port; port 0 picks a free port) and
@@ -159,6 +176,15 @@ func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
 		"records":     rec.Last(last),
 		"postmortems": rec.PostMortems(),
 	})
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, _ *http.Request) {
+	fn := s.sessions.Load()
+	if fn == nil {
+		writeJSON(w, map[string]any{"serving": false, "sessions": []any{}})
+		return
+	}
+	writeJSON(w, map[string]any{"serving": true, "sessions": (*fn)()})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

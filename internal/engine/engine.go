@@ -34,6 +34,7 @@ import (
 	"repro/internal/govern"
 	"repro/internal/index"
 	"repro/internal/optimizer"
+	"repro/internal/plancache"
 	"repro/internal/qgm"
 	"repro/internal/sqlparser"
 	"repro/internal/storage"
@@ -92,6 +93,14 @@ type Config struct {
 	// setting only the JITS knob budget-bounds both sampling buffers and
 	// buffering executor operators.
 	Governor govern.Config
+	// PlanCacheSize enables the compiled-plan cache with at most that many
+	// entries: repeated SELECTs (keyed on sqlparser.Normalize of their text
+	// and the engine's archive epoch) skip parse, JITS preparation and
+	// optimization entirely. 0 disables the cache; negative selects
+	// plancache.DefaultSize. Any DML, DDL, statistics migration or archive
+	// restore bumps the epoch and invalidates every cached plan, so a plan
+	// compiled against pre-update statistics is never reused afterwards.
+	PlanCacheSize int
 }
 
 // ExecOptions tune one Exec call — the per-query session knobs.
@@ -121,6 +130,9 @@ type Result struct {
 	Plan         string // EXPLAIN rendering of the chosen join tree
 	Metrics      Metrics
 	Prepare      *core.PrepareReport // JITS decisions, nil when disabled
+	// PlanCacheHit reports that this statement reused a compiled plan from
+	// the plan cache, skipping parse/JITS-prepare/optimize entirely.
+	PlanCacheHit bool
 }
 
 // Engine is the database instance.
@@ -141,6 +153,11 @@ type Engine struct {
 	parallelism  int
 	stmtTimeout  time.Duration
 	closed       atomic.Bool
+	// planCache is nil when Config.PlanCacheSize is 0 (cache disabled).
+	planCache *plancache.Cache
+	// archiveEpoch versions the statistics/data state cached plans were
+	// compiled against; bumpArchiveEpoch documents what moves it.
+	archiveEpoch atomic.Uint64
 
 	// staticQSS holds the "workload statistics" baseline: column-group
 	// statistics precollected from the workload text and never refreshed.
@@ -192,6 +209,7 @@ func New(cfg Config) *Engine {
 		governor:     governor,
 		parallelism:  cfg.Parallelism,
 		stmtTimeout:  cfg.StatementTimeout,
+		planCache:    plancache.New(cfg.PlanCacheSize),
 	}
 	if cfg.ReactiveCorrections {
 		e.reactiveQSS = core.NewArchive(0, 0)
@@ -257,6 +275,25 @@ func (e *Engine) Closed() bool { return e.closed.Load() }
 // Config.Governor it is a no-op governor whose snapshot reports everything
 // disabled). The debug server's health endpoint and tests read it.
 func (e *Engine) Governor() *govern.Governor { return e.governor }
+
+// PlanCache exposes the compiled-plan cache; nil when Config.PlanCacheSize
+// is 0. Tests and the serve experiment read its Stats.
+func (e *Engine) PlanCache() *plancache.Cache { return e.planCache }
+
+// ArchiveEpoch returns the current statistics/data epoch. Cached plans are
+// keyed on it; see bumpArchiveEpoch for what advances it.
+func (e *Engine) ArchiveEpoch() uint64 { return e.archiveEpoch.Load() }
+
+// bumpArchiveEpoch advances the epoch and eagerly sweeps now-stale plan
+// cache entries. It is called after every statement or API that changes
+// data or the statistics cached plans were costed against: DML (the archive
+// merge counters and sensitivity analysis react to the same UDI activity),
+// DDL, statistics migration, RUNSTATS, workload-stats collection, and
+// archive restore.
+func (e *Engine) bumpArchiveEpoch() {
+	n := e.archiveEpoch.Add(1)
+	e.planCache.Invalidate(n)
+}
 
 // TableSchema implements qgm.SchemaResolver.
 func (e *Engine) TableSchema(name string) (*storage.Schema, bool) {
@@ -355,6 +392,50 @@ func (e *Engine) ExecWithContext(ctx context.Context, sql string, opts ExecOptio
 		dop = e.parallelism
 	}
 	start := time.Now()
+	// Plan-cache fast path: a hit executes the cached compiled plan without
+	// parsing, JITS preparation or optimization. Only executable SELECTs are
+	// ever stored, so SHOW/EXPLAIN/DML statements simply miss (their texts
+	// normalize to keys no Put writes). The key's epoch pins the statistics
+	// and data state the plan was compiled against.
+	var cacheKey string
+	var cacheEpoch uint64
+	if e.planCache != nil {
+		if key, nerr := sqlparser.Normalize(sql); nerr == nil {
+			epoch := e.archiveEpoch.Load()
+			if v, ok := e.planCache.Get(key, epoch); ok {
+				ent := v.(*cachedPlan)
+				ts := e.tick()
+				var rec *flightrec.Record
+				if e.recorder.Enabled() {
+					rec = e.recorder.Begin(ts, sql)
+				}
+				stmtSelect.Inc()
+				res, err := e.execCachedSelect(ctx, ent, dop, ts, rec, mem)
+				wall := time.Since(start)
+				govern.ObserveStatementPeak(mem.Peak())
+				if rec != nil {
+					rec.Kind = "select"
+					rec.Wall = wall
+					rec.QueueWait = ticket.Wait()
+					rec.MemPeakBytes = mem.Peak()
+					if err != nil {
+						rec.Err = err.Error()
+					} else if res != nil {
+						rec.Rows = len(res.Rows)
+						rec.ExecSeconds = res.Metrics.ExecSeconds
+					}
+					e.recorder.Commit(rec)
+				}
+				if err != nil {
+					stmtErrors.Inc()
+					return nil, err
+				}
+				stmtWall.Observe(wall.Seconds())
+				return res, nil
+			}
+			cacheKey, cacheEpoch = key, epoch
+		}
+	}
 	// Parsing precedes statement-timestamp assignment, so its span carries
 	// qid 0 ("pre-statement").
 	parseSpan := e.tracer.Start(0, tracing.PhaseParse)
@@ -378,7 +459,7 @@ func (e *Engine) ExecWithContext(ctx context.Context, sql string, opts ExecOptio
 	case *sqlparser.SelectStmt:
 		kind = "select"
 		stmtSelect.Inc()
-		res, err = e.execSelect(ctx, s, sql, modeExecute, dop, ts, rec, mem)
+		res, err = e.execSelect(ctx, s, sql, modeExecute, dop, ts, rec, mem, cacheKey, cacheEpoch)
 	case *sqlparser.ExplainStmt:
 		mode := modeExplain
 		if s.Analyze {
@@ -389,7 +470,7 @@ func (e *Engine) ExecWithContext(ctx context.Context, sql string, opts ExecOptio
 			kind = "explain"
 			stmtExplain.Inc()
 		}
-		res, err = e.execSelect(ctx, s.Select, sql, mode, dop, ts, rec, mem)
+		res, err = e.execSelect(ctx, s.Select, sql, mode, dop, ts, rec, mem, "", 0)
 	case *sqlparser.ShowStmt:
 		switch s.Kind {
 		case sqlparser.ShowStats:
@@ -434,6 +515,11 @@ func (e *Engine) ExecWithContext(ctx context.Context, sql string, opts ExecOptio
 	default:
 		e.recorder.Abort(rec)
 		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+	// Data- or statistics-changing statements move the archive epoch, so no
+	// later statement can reuse a plan compiled against the old state.
+	if err == nil && (kind == "dml" || kind == "ddl") {
+		e.bumpArchiveEpoch()
 	}
 	wall := time.Since(start)
 	govern.ObserveStatementPeak(mem.Peak())
@@ -547,7 +633,7 @@ func analyzeAnnotator(stats *executor.ExecStats, prep *core.PrepareReport) optim
 // rows, one per line. modeExplainAnalyze runs the full pipeline (execution,
 // feedback, reactive corrections, migration) and returns the plan text
 // annotated with each operator's actual rows, metered units and wall time.
-func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql string, mode execMode, dop int, ts int64, rec *flightrec.Record, mem *govern.Reservation) (*Result, error) {
+func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql string, mode execMode, dop int, ts int64, rec *flightrec.Record, mem *govern.Reservation, cacheKey string, cacheEpoch uint64) (*Result, error) {
 	var compileMeter, execMeter costmodel.Meter
 
 	q, err := qgm.Build(stmt, e)
@@ -705,64 +791,11 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 	}
 	execSpan.Attr("rows", len(res.Rows)).Attr("units", fmt.Sprintf("%.0f", execMeter.Units())).End()
 
-	// LEO-style feedback: estimated vs. actual local-group selectivities,
-	// from the outer plan and any subquery plans.
-	fbSpan := e.tracer.Start(ts, tracing.PhaseFeedback)
-	var obs []core.Observation
-	for _, a := range append(subActuals, res.Actuals...) {
-		if a.Trace == nil || a.Conditioned {
-			continue
-		}
-		obs = append(obs, core.Observation{
-			Table:     a.Trace.Table,
-			ColGrp:    a.Trace.ColGrp,
-			StatList:  a.Trace.StatList,
-			EstSel:    a.Trace.EstSel,
-			ActualSel: a.ActualSelectivity(),
-			BaseCard:  int64(a.BaseRows),
-		})
-		if rec != nil {
-			rec.ErrorFactors = append(rec.ErrorFactors,
-				feedback.ErrorFactor(a.Trace.EstSel, a.ActualSelectivity(), int64(a.BaseRows)))
-		}
-		e.tracef("q%d feedback %s est=%.5f actual=%.5f stats=%v",
-			ts, a.Trace.ColGrp, a.Trace.EstSel, a.ActualSelectivity(), a.Trace.StatList)
-	}
-	e.jits.Feedback(obs)
-	fbSpan.Attr("observations", len(obs)).End()
+	// Feedback, reactive corrections and migration cadence — shared with the
+	// plan-cache hit path.
+	e.postExecute(ts, blk, append(subActuals, res.Actuals...), res.Actuals, rec)
 	e.tracef("q%d plan rows=%.1f cost=%.0f exec=%.4fs compile=%.4fs",
 		ts, plan.Rows(), plan.Cost(), execMeter.Seconds(), compileMeter.Seconds())
-
-	// Reactive corrections (LEO baseline): record the *observed*
-	// selectivity of each local predicate group for future queries. Without
-	// sample domains these land in the exact-match memo — precisely LEO's
-	// granularity of adjustment.
-	if e.reactiveQSS != nil {
-		for slot, preds := range blk.LocalPreds {
-			if len(preds) == 0 {
-				continue
-			}
-			for _, a := range res.Actuals {
-				if a.Slot == slot && !a.Conditioned {
-					e.reactiveQSS.Materialize(blk.Tables[slot].Table, preds, a.ActualSelectivity(), ts, nil)
-					e.reactiveQSS.SetCardinality(blk.Tables[slot].Table, int64(a.BaseRows), ts)
-				}
-			}
-		}
-	}
-
-	// Periodic statistics migration into the catalog.
-	if e.migrateEvery > 0 {
-		e.mu.Lock()
-		e.selectCount++
-		due := e.selectCount%int64(e.migrateEvery) == 0
-		e.mu.Unlock()
-		if due {
-			mergeSpan := e.tracer.Start(ts, tracing.PhaseArchiveMerge)
-			n := e.jits.MigrateToCatalog(ts)
-			mergeSpan.Attr("migrated", n).End()
-		}
-	}
 
 	// Flight-recorder capture: the annotated plan (the same rendering
 	// EXPLAIN ANALYZE produces, replayed later by EXPLAIN HISTORY) and the
@@ -805,6 +838,14 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 		}, nil
 	}
 
+	// Store the compiled plan for reuse at this epoch. Statements with
+	// IN-subqueries are excluded: semi-join lowering folded the *executed*
+	// inner result into the outer block's predicates above, so their plan
+	// embeds data, not just shape, and must be recompiled per execution.
+	if cacheKey != "" && len(blk.SemiJoins) == 0 {
+		e.planCache.Put(cacheKey, cacheEpoch, &cachedPlan{blk: blk, plan: plan, prep: prep})
+	}
+
 	return &Result{
 		Columns: res.Columns,
 		Rows:    res.Rows,
@@ -827,6 +868,7 @@ func (e *Engine) RunstatsAll() error {
 		}
 		e.cat.SetTableStats(stats)
 	}
+	e.bumpArchiveEpoch()
 	return nil
 }
 
@@ -902,6 +944,7 @@ func (e *Engine) CollectWorkloadStats(sqls []string) error {
 		}
 	}
 	e.staticQSS = archive
+	e.bumpArchiveEpoch()
 	return nil
 }
 
@@ -912,7 +955,11 @@ func (e *Engine) WorkloadStatsArchive() *core.Archive { return e.staticQSS }
 // MigrateStats pushes archived 1-D QSS histograms into the catalog — the
 // periodic statistics-migration step.
 func (e *Engine) MigrateStats() int {
-	return e.jits.MigrateToCatalog(e.tick())
+	n := e.jits.MigrateToCatalog(e.tick())
+	if n > 0 {
+		e.bumpArchiveEpoch()
+	}
+	return n
 }
 
 // SaveStatistics serializes the QSS archive so a later engine instance can
@@ -930,5 +977,6 @@ func (e *Engine) LoadStatistics(r io.Reader) error {
 		return err
 	}
 	e.jits.RestoreArchive(a)
+	e.bumpArchiveEpoch()
 	return nil
 }

@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/executor"
+	"repro/internal/feedback"
+	"repro/internal/flightrec"
+	"repro/internal/govern"
+	"repro/internal/optimizer"
+	"repro/internal/qgm"
+	"repro/internal/tracing"
+)
+
+// This file is the engine side of the compiled-plan cache (see
+// internal/plancache for the container): what a cache entry holds, the
+// cached execution fast path that skips parse/JITS-prepare/optimize, and
+// the post-execution bookkeeping (feedback, reactive corrections, migration
+// cadence) shared between the cold and cached paths.
+
+// cachedPlan is one plan-cache entry: everything execution needs from
+// compilation. All three fields are immutable after the compiling statement
+// finishes — the executor never mutates the block or the plan tree, and the
+// prepare report is read-only — so concurrent sessions may execute the same
+// entry simultaneously.
+type cachedPlan struct {
+	blk  *qgm.Block
+	plan optimizer.Node
+	prep *core.PrepareReport // JITS decisions of the compiling statement
+}
+
+// execCachedSelect executes a cached compiled plan: the execution,
+// feedback, and flight-recorder tail of execSelect without any of its
+// compilation. The returned Result reports zero compile cost — that is the
+// amortization the cache buys — and carries the compiling statement's
+// PrepareReport so degradation flags are stable across reuse.
+func (e *Engine) execCachedSelect(ctx context.Context, ent *cachedPlan, dop int, ts int64, rec *flightrec.Record, mem *govern.Reservation) (*Result, error) {
+	var execMeter costmodel.Meter
+	var stats *executor.ExecStats
+	if rec != nil {
+		stats = executor.NewExecStats()
+	}
+	execSpan := e.tracer.Start(ts, tracing.PhaseExecute)
+	rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Ctx: ctx, Parallelism: dop, Stats: stats, Mem: mem}
+	res, err := executor.Execute(ent.blk, ent.plan, rt)
+	if err != nil {
+		execSpan.End()
+		return nil, err
+	}
+	execSpan.Attr("rows", len(res.Rows)).Attr("units", fmt.Sprintf("%.0f", execMeter.Units())).Attr("plan_cache", "hit").End()
+
+	e.postExecute(ts, ent.blk, res.Actuals, res.Actuals, rec)
+	e.tracef("q%d plan rows=%.1f cost=%.0f exec=%.4fs plan_cache=hit",
+		ts, ent.plan.Rows(), ent.plan.Cost(), execMeter.Seconds())
+
+	if rec != nil {
+		rec.PlanCacheHit = true
+		rec.Plan = optimizer.ExplainAnnotated(ent.plan, dop, analyzeAnnotator(stats, ent.prep))
+		if ent.prep != nil {
+			rec.Degraded = ent.prep.Degraded
+			for _, tr := range ent.prep.Tables {
+				rec.Tables = append(rec.Tables, flightrec.TableSample{
+					Table:      tr.Table,
+					Collected:  tr.Collected,
+					SampleRows: tr.SampleRows,
+					Degraded:   tr.Degraded,
+					Reason:     tr.DegradeReason,
+				})
+				if tr.Degraded {
+					rec.DegradeCauses = append(rec.DegradeCauses, tr.Table+": "+tr.DegradeReason)
+				}
+			}
+		}
+		optimizer.Walk(ent.plan, func(n optimizer.Node) {
+			op := flightrec.OperatorStats{EstRows: n.Rows()}
+			switch t := n.(type) {
+			case *optimizer.Scan:
+				op.Op = t.Describe()
+			case *optimizer.Join:
+				op.Op = t.Describe()
+			}
+			if st, ok := stats.Lookup(n); ok {
+				op.ActRows = st.Rows
+				op.QError = flightrec.QError(op.EstRows, op.ActRows)
+				if op.QError > rec.WorstQError {
+					rec.WorstQError = op.QError
+				}
+			}
+			rec.Operators = append(rec.Operators, op)
+		})
+	}
+
+	return &Result{
+		Columns:      res.Columns,
+		Rows:         res.Rows,
+		Plan:         optimizer.ExplainAnnotated(ent.plan, dop, nil),
+		Metrics:      buildMetrics(nil, &execMeter),
+		Prepare:      ent.prep,
+		PlanCacheHit: true,
+	}, nil
+}
+
+// postExecute runs the per-execution bookkeeping every executed SELECT owes
+// regardless of how its plan was obtained: the LEO-style feedback loop over
+// the actuals (allActuals includes subquery scans; mainActuals only the
+// outer block's), reactive corrections when that baseline is enabled, and
+// the periodic statistics-migration cadence.
+func (e *Engine) postExecute(ts int64, blk *qgm.Block, allActuals, mainActuals []executor.ScanActual, rec *flightrec.Record) {
+	fbSpan := e.tracer.Start(ts, tracing.PhaseFeedback)
+	var obs []core.Observation
+	for _, a := range allActuals {
+		if a.Trace == nil || a.Conditioned {
+			continue
+		}
+		obs = append(obs, core.Observation{
+			Table:     a.Trace.Table,
+			ColGrp:    a.Trace.ColGrp,
+			StatList:  a.Trace.StatList,
+			EstSel:    a.Trace.EstSel,
+			ActualSel: a.ActualSelectivity(),
+			BaseCard:  int64(a.BaseRows),
+		})
+		if rec != nil {
+			rec.ErrorFactors = append(rec.ErrorFactors,
+				feedback.ErrorFactor(a.Trace.EstSel, a.ActualSelectivity(), int64(a.BaseRows)))
+		}
+		e.tracef("q%d feedback %s est=%.5f actual=%.5f stats=%v",
+			ts, a.Trace.ColGrp, a.Trace.EstSel, a.ActualSelectivity(), a.Trace.StatList)
+	}
+	e.jits.Feedback(obs)
+	fbSpan.Attr("observations", len(obs)).End()
+
+	// Reactive corrections (LEO baseline): record the *observed*
+	// selectivity of each local predicate group for future queries. Without
+	// sample domains these land in the exact-match memo — precisely LEO's
+	// granularity of adjustment.
+	if e.reactiveQSS != nil {
+		for slot, preds := range blk.LocalPreds {
+			if len(preds) == 0 {
+				continue
+			}
+			for _, a := range mainActuals {
+				if a.Slot == slot && !a.Conditioned {
+					e.reactiveQSS.Materialize(blk.Tables[slot].Table, preds, a.ActualSelectivity(), ts, nil)
+					e.reactiveQSS.SetCardinality(blk.Tables[slot].Table, int64(a.BaseRows), ts)
+				}
+			}
+		}
+	}
+
+	// Periodic statistics migration into the catalog.
+	if e.migrateEvery > 0 {
+		e.mu.Lock()
+		e.selectCount++
+		due := e.selectCount%int64(e.migrateEvery) == 0
+		e.mu.Unlock()
+		if due {
+			mergeSpan := e.tracer.Start(ts, tracing.PhaseArchiveMerge)
+			n := e.jits.MigrateToCatalog(ts)
+			mergeSpan.Attr("migrated", n).End()
+			if n > 0 {
+				// Migrated histograms change the catalog statistics future
+				// compilations cost against; cached plans are now stale.
+				e.bumpArchiveEpoch()
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestShowQueriesQIDsUniqueMonotone: under concurrent statements, SHOW
+// QUERIES must list qids unique and strictly increasing. The flight
+// recorder's ring is commit-ordered — a slow statement with a small qid can
+// commit after a faster later one — so the introspection layer sorts by
+// qid; this pins that contract.
+func TestShowQueriesQIDsUniqueMonotone(t *testing.T) {
+	cfg := Config{FlightRecorderCapacity: 512, PlanCacheSize: 64}
+	cfg.JITS = core.DefaultConfig()
+	cfg.JITS.SampleSize = 200
+	e := seedEngine(t, cfg)
+	e.Recorder().Reset() // drop the seeding statements; observe only ours
+
+	queries := []string{
+		`SELECT id FROM car WHERE make = 'Toyota'`,
+		`SELECT c.id, c.price FROM car c, owner o WHERE c.ownerid = o.id AND o.city = 'Ottawa'`,
+		`SELECT id FROM owner WHERE city = 'Boston'`,
+		`SELECT id FROM car WHERE year > 1995`,
+	}
+	const goroutines = 8
+	const perG = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, err := e.Exec(queries[(g+i)%len(queries)]); err != nil {
+					errs <- fmt.Errorf("goroutine %d: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	res, err := e.Exec(`SHOW QUERIES LAST 500`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SHOW QUERIES itself is not yet committed when it renders, so exactly
+	// the workload statements appear.
+	if len(res.Rows) != goroutines*perG {
+		t.Fatalf("SHOW QUERIES returned %d rows, want %d", len(res.Rows), goroutines*perG)
+	}
+	seen := make(map[int64]bool, len(res.Rows))
+	prev := int64(-1)
+	for i, row := range res.Rows {
+		qid := row[0].Int()
+		if seen[qid] {
+			t.Fatalf("row %d: duplicate qid %d", i, qid)
+		}
+		seen[qid] = true
+		if qid <= prev {
+			t.Fatalf("row %d: qid %d not strictly increasing (prev %d)", i, qid, prev)
+		}
+		prev = qid
+	}
+}

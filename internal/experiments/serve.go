@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// This file is the serving experiment: the same JITS engine fronted by the
+// internal/server TCP service, measured under a sweep of concurrent
+// sessions with the plan cache off and on. Unlike the paper experiments,
+// the reported numbers here are WALL CLOCK — the point is the service
+// layer's real overhead and the cache's real amortization, not the
+// simulated cost model.
+
+// ServeRow is one (session count, plan cache setting) measurement.
+type ServeRow struct {
+	Sessions     int
+	PlanCache    bool
+	Statements   int           // statements completed across all sessions
+	Errors       int           // failed statements (should be 0)
+	WallSeconds  float64       // wall clock for the whole sweep level
+	StmtsPerSec  float64       // Statements / WallSeconds
+	CacheHits    uint64        // plan-cache hits observed by the engine
+	CacheHitRate float64       // hits / statements
+	P50          time.Duration // client-visible per-statement latency
+	P99          time.Duration
+}
+
+// ServeThroughput starts a real TCP server per configuration and drives it
+// with n concurrent client sessions, each replaying the same query list
+// twice (the second pass is where a warm plan cache pays). Sweeping
+// sessionCounts × {cache off, cache on} isolates the cache's contribution
+// at every concurrency level.
+func ServeThroughput(opts Options, sessionCounts []int) ([]ServeRow, error) {
+	queriesPerSession := opts.Queries
+	if queriesPerSession <= 0 {
+		queriesPerSession = 40
+	}
+	var out []ServeRow
+	for _, sessions := range sessionCounts {
+		for _, cache := range []bool{false, true} {
+			row, err := serveOne(opts, sessions, cache, queriesPerSession)
+			if err != nil {
+				return nil, fmt.Errorf("serve sessions=%d cache=%v: %w", sessions, cache, err)
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func serveOne(opts Options, sessions int, cache bool, queriesPerSession int) (ServeRow, error) {
+	cfg := engine.Config{Parallelism: opts.Parallelism, Trace: opts.Trace, JITS: opts.jitsConfig()}
+	if cache {
+		cfg.PlanCacheSize = -1 // plancache.DefaultSize
+	}
+	e := opts.newEngine(cfg)
+	d, err := workload.Load(e, workload.Spec{Scale: opts.Scale, Seed: opts.Seed})
+	if err != nil {
+		return ServeRow{}, err
+	}
+	srv := server.New(e)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return ServeRow{}, err
+	}
+	defer srv.Close()
+
+	// Every session replays the same list, twice: with the cache on, one
+	// session's compilation becomes every session's hit.
+	queries := d.Queries(queriesPerSession, opts.Seed+1)
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		total     int
+		failures  int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := client.Dial(addr)
+			if err != nil {
+				mu.Lock()
+				failures++
+				mu.Unlock()
+				return
+			}
+			defer conn.Close()
+			local := make([]time.Duration, 0, 2*len(queries))
+			errs := 0
+			for pass := 0; pass < 2; pass++ {
+				for _, q := range queries {
+					t0 := time.Now()
+					if _, err := conn.Query(q.SQL); err != nil {
+						errs++
+						continue
+					}
+					local = append(local, time.Since(t0))
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			total += len(local)
+			failures += errs
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	row := ServeRow{
+		Sessions:    sessions,
+		PlanCache:   cache,
+		Statements:  total,
+		Errors:      failures,
+		WallSeconds: wall,
+		CacheHits:   e.PlanCache().Stats().Hits,
+	}
+	if wall > 0 {
+		row.StmtsPerSec = float64(total) / wall
+	}
+	if total > 0 {
+		row.CacheHitRate = float64(row.CacheHits) / float64(total)
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		row.P50 = latencies[len(latencies)/2]
+		row.P99 = latencies[len(latencies)*99/100]
+	}
+	return row, nil
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+// TestServeThroughputQuick runs the serving sweep at a tiny scale: every
+// statement must succeed, and the cache-on run must actually hit — the
+// shared query list across sessions guarantees reuse.
+func TestServeThroughputQuick(t *testing.T) {
+	opts := Options{Scale: 0.002, Queries: 10, Seed: 42, SMax: 0.5, SampleSize: 200}
+	rows, err := ServeThroughput(opts, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 session counts × cache off/on
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Errors != 0 {
+			t.Fatalf("sessions=%d cache=%v: %d errors", r.Sessions, r.PlanCache, r.Errors)
+		}
+		want := r.Sessions * 2 * opts.Queries
+		if r.Statements != want {
+			t.Fatalf("sessions=%d cache=%v: %d statements, want %d", r.Sessions, r.PlanCache, r.Statements, want)
+		}
+		if !r.PlanCache && r.CacheHits != 0 {
+			t.Fatalf("sessions=%d: cache-off run recorded %d hits", r.Sessions, r.CacheHits)
+		}
+		if r.PlanCache && r.CacheHits == 0 {
+			t.Fatalf("sessions=%d: cache-on run recorded no hits", r.Sessions)
+		}
+		if r.P50 <= 0 || r.P99 < r.P50 {
+			t.Fatalf("sessions=%d cache=%v: bad latencies p50=%v p99=%v", r.Sessions, r.PlanCache, r.P50, r.P99)
+		}
+	}
+}

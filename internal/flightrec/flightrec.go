@@ -18,6 +18,7 @@
 package flightrec
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -96,6 +97,10 @@ type Record struct {
 	// ErrorFactors are the feedback loop's estimated/actual error factors
 	// observed while this statement executed.
 	ErrorFactors []float64 `json:"error_factors,omitempty"`
+
+	// PlanCacheHit reports that the statement executed a compiled plan from
+	// the engine's plan cache (no parse/JITS-prepare/optimize phases ran).
+	PlanCacheHit bool `json:"plan_cache_hit,omitempty"`
 
 	// Err is the statement's error text; empty on success.
 	Err string `json:"error,omitempty"`
@@ -270,15 +275,23 @@ func (r *Recorder) Len() int {
 	return r.filled
 }
 
-// Last returns shallow copies of the most recent n records, oldest first.
-// n ≤ 0 returns everything live. Safe to call concurrently with writers.
+// Last returns shallow copies of the most recent n records in ascending
+// qid (logical time) order. n ≤ 0 returns everything live. Safe to call
+// concurrently with writers.
+//
+// The ring itself is ordered by *commit*: under concurrency a long-running
+// statement with a small qid can commit after a later statement, so raw
+// ring order would show qids out of sequence — SHOW QUERIES pins the sorted
+// contract instead.
 func (r *Recorder) Last(n int) []Record {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return copyRing(r.ring, r.next, r.filled, n)
+	out := copyRing(r.ring, r.next, r.filled, n)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].QID < out[j].QID })
+	return out
 }
 
 // Get returns the live record with the given qid, if the ring still holds it.

@@ -1,0 +1,157 @@
+package plancache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestPlanCacheHitMissBasics(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Get("a", 1); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", 1, "va")
+	v, ok := c.Get("a", 1)
+	if !ok || v.(string) != "va" {
+		t.Fatalf("Get(a,1) = %v,%v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPlanCacheEpochInvalidation(t *testing.T) {
+	c := New(4)
+	c.Put("a", 1, "old")
+	// A lookup at a newer epoch must not return the stale entry, and must
+	// drop it.
+	if _, ok := c.Get("a", 2); ok {
+		t.Fatal("stale-epoch entry returned")
+	}
+	if st := c.Stats(); st.Invalidations != 1 || st.Entries != 0 {
+		t.Fatalf("after stale get: %+v", st)
+	}
+	// Eager sweep: entries from any epoch other than current are dropped.
+	c.Put("a", 2, "x")
+	c.Put("b", 2, "y")
+	c.Put("c", 3, "z")
+	if n := c.Invalidate(3); n != 2 {
+		t.Fatalf("Invalidate removed %d, want 2", n)
+	}
+	if _, ok := c.Get("c", 3); !ok {
+		t.Fatal("current-epoch entry swept")
+	}
+	if st := c.Stats(); st.Invalidations != 3 {
+		t.Fatalf("invalidations = %d, want 3", st.Invalidations)
+	}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	c := New(3)
+	c.Put("a", 1, 1)
+	c.Put("b", 1, 2)
+	c.Put("c", 1, 3)
+	// Touch a so b becomes the LRU victim.
+	if _, ok := c.Get("a", 1); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put("d", 1, 4)
+	if _, ok := c.Get("b", 1); ok {
+		t.Fatal("LRU victim b survived")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k, 1); !ok {
+			t.Fatalf("%s evicted, want b only", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestPlanCachePropertyBounded: under a long random workload of puts, gets,
+// and epoch bumps, the entry count never exceeds capacity, hits only come
+// from the current epoch, and the counters reconcile.
+func TestPlanCachePropertyBounded(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		cap := 1 + r.Intn(16)
+		c := New(cap)
+		epoch := uint64(1)
+		live := map[string]uint64{} // key → epoch it was last put at
+		for op := 0; op < 2000; op++ {
+			key := fmt.Sprintf("k%d", r.Intn(40))
+			switch r.Intn(4) {
+			case 0, 1:
+				c.Put(key, epoch, op)
+				live[key] = epoch
+			case 2:
+				v, ok := c.Get(key, epoch)
+				if ok {
+					if live[key] != epoch {
+						t.Fatalf("seed %d: hit on %q from epoch %d at epoch %d", seed, key, live[key], epoch)
+					}
+					if v == nil {
+						t.Fatalf("seed %d: nil value on hit", seed)
+					}
+				}
+			default:
+				if r.Intn(8) == 0 {
+					epoch++
+					c.Invalidate(epoch)
+				}
+			}
+			if n := c.Len(); n > cap {
+				t.Fatalf("seed %d: %d entries > cap %d", seed, n, cap)
+			}
+		}
+	}
+}
+
+// TestPlanCacheConcurrent hammers the cache from many goroutines mixing
+// gets, puts and epoch sweeps; run under -race this proves the locking.
+func TestPlanCacheConcurrent(t *testing.T) {
+	c := New(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("k%d", r.Intn(12))
+				epoch := uint64(1 + r.Intn(3))
+				switch r.Intn(3) {
+				case 0:
+					c.Put(key, epoch, i)
+				case 1:
+					c.Get(key, epoch)
+				default:
+					c.Invalidate(epoch)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 8 {
+		t.Fatalf("%d entries > cap", n)
+	}
+}
+
+func TestPlanCacheNilSafe(t *testing.T) {
+	var c *Cache = New(0)
+	if c != nil {
+		t.Fatal("capacity 0 should yield the nil (disabled) cache")
+	}
+	c.Put("a", 1, 1)
+	if _, ok := c.Get("a", 1); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Invalidate(2)
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+}

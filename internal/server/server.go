@@ -1,0 +1,333 @@
+// Package server is the multi-session SQL service: it listens on TCP,
+// speaks the internal/wire frame protocol, and multiplexes any number of
+// client sessions onto one embedded engine via engine.ExecWithContext.
+//
+// A session is one accepted connection. It owns its per-session execution
+// options (parallelism, statement timeout), its prepared-statement table,
+// and — for each statement it runs — the governor admission ticket and
+// memory reservation the engine leases on its behalf; because every
+// statement runs under the server's base context, Close cancels in-flight
+// work and the governor's slots drain to zero before Close returns. The
+// engine's plan cache sits below all sessions, so a statement compiled by
+// one session is reused by every other (subject to archive-epoch
+// invalidation on DML).
+//
+// Errors cross the wire typed: govern.ErrOverloaded, govern.ErrMemoryBudget
+// and engine.ErrClosed map to distinct codes (wire.CodeFor), which the
+// client resurrects as wrapped sentinels — a remote caller's errors.Is
+// checks behave exactly like an embedded caller's.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/sqlparser"
+	"repro/internal/wire"
+)
+
+// Service-level metrics, registered on the default registry next to the
+// engine's own instruments.
+var (
+	mSessionsActive = metrics.Default().Gauge("server_sessions_active",
+		"Currently open client sessions.")
+	mSessionsTotal = metrics.Default().Counter("server_sessions_total",
+		"Client sessions ever accepted.")
+	mRequests = metrics.Default().CounterVec("server_requests_total",
+		"Request frames handled, by frame type.", "type")
+	mErrors = metrics.Default().CounterVec("server_errors_total",
+		"Error frames sent, by wire error code.", "code")
+)
+
+// Server is one listening SQL service bound to an engine. Create with New,
+// start with Start, stop with Close.
+type Server struct {
+	eng *engine.Engine
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	mu       sync.Mutex
+	sessions map[int64]*session
+	nextSess int64
+}
+
+// session is one client connection's server-side state. Requests are
+// handled one at a time by the session's goroutine; mu only exists so the
+// debug server's Sessions() snapshot can read opts and the statement table
+// concurrently with the handler.
+type session struct {
+	id     int64
+	conn   net.Conn
+	remote string
+	start  time.Time
+
+	mu   sync.Mutex
+	opts engine.ExecOptions
+
+	// stmts is the prepared-statement table: handle → normalized SQL. The
+	// compiled plan itself lives in the engine's shared plan cache; the
+	// session only pins the text, so a prepared statement transparently
+	// recompiles after an epoch bump instead of replaying a stale plan.
+	stmts    map[int64]string
+	nextStmt int64
+
+	queries atomic.Int64
+}
+
+// execOpts snapshots the session's options under its lock.
+func (sess *session) execOpts() engine.ExecOptions {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.opts
+}
+
+// SessionInfo is one session's introspection snapshot (/debug/sessions).
+type SessionInfo struct {
+	ID            int64     `json:"id"`
+	Remote        string    `json:"remote"`
+	Started       time.Time `json:"started"`
+	Statements    int64     `json:"statements"`
+	PreparedStmts int       `json:"prepared_stmts"`
+	Parallelism   int       `json:"parallelism,omitempty"`
+	TimeoutMS     int64     `json:"timeout_ms,omitempty"`
+}
+
+// New returns an unstarted server for the engine.
+func New(eng *engine.Engine) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		eng:      eng,
+		baseCtx:  ctx,
+		cancel:   cancel,
+		sessions: make(map[int64]*session),
+	}
+}
+
+// Start begins listening on addr (host:port; port 0 picks a free port) and
+// accepts sessions in background goroutines until Close. It returns the
+// bound address so callers using port 0 can discover the real port.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address, or "" before Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Engine returns the engine this server fronts.
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Close stops accepting, cancels every in-flight statement, closes all
+// session connections, and waits for the handlers to drain. After Close
+// returns, no session goroutine is running and every governor slot and
+// memory reservation leased for a session statement has been released.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.cancel()
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		_ = sess.conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Sessions returns introspection snapshots of the live sessions, for the
+// debug server's /debug/sessions endpoint.
+func (s *Server) Sessions() []SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SessionInfo, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sess.mu.Lock()
+		info := SessionInfo{
+			ID:            sess.id,
+			Remote:        sess.remote,
+			Started:       sess.start,
+			Statements:    sess.queries.Load(),
+			PreparedStmts: len(sess.stmts),
+			Parallelism:   sess.opts.Parallelism,
+			TimeoutMS:     int64(sess.opts.Timeout / time.Millisecond),
+		}
+		sess.mu.Unlock()
+		out = append(out, info)
+	}
+	return out
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		sess := &session{
+			conn:   conn,
+			remote: conn.RemoteAddr().String(),
+			start:  time.Now(),
+			stmts:  make(map[int64]string),
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.nextSess++
+		sess.id = s.nextSess
+		s.sessions[sess.id] = sess
+		s.mu.Unlock()
+		mSessionsTotal.Inc()
+		mSessionsActive.Add(1)
+		s.wg.Add(1)
+		go s.handleSession(sess)
+	}
+}
+
+func (s *Server) handleSession(sess *session) {
+	defer s.wg.Done()
+	defer func() {
+		_ = sess.conn.Close()
+		s.mu.Lock()
+		delete(s.sessions, sess.id)
+		s.mu.Unlock()
+		mSessionsActive.Add(-1)
+	}()
+	for {
+		var req wire.Request
+		if err := wire.ReadFrame(sess.conn, &req); err != nil {
+			return // EOF, peer reset, or Close tore the conn down
+		}
+		mRequests.With(req.Type).Inc()
+		resp := s.dispatch(sess, &req)
+		if resp.Type == wire.RespError {
+			mErrors.With(resp.Error.Code).Inc()
+		}
+		if err := wire.WriteFrame(sess.conn, resp); err != nil {
+			return
+		}
+		if req.Type == wire.ReqClose {
+			return
+		}
+	}
+}
+
+// dispatch handles one request frame and builds its response frame.
+func (s *Server) dispatch(sess *session, req *wire.Request) *wire.Response {
+	switch req.Type {
+	case wire.ReqQuery:
+		sess.queries.Add(1)
+		res, err := s.eng.ExecWithContext(s.baseCtx, req.SQL, sess.execOpts())
+		if err != nil {
+			return errResponse(err)
+		}
+		return &wire.Response{Type: wire.RespResult, Result: encodeResult(res)}
+
+	case wire.ReqPrepare:
+		// Normalization doubles as validation (unlexable SQL fails here, not
+		// at execute) and makes the handle's text identical to the plan-cache
+		// key the statement will compile under.
+		norm, err := sqlparser.Normalize(req.SQL)
+		if err != nil {
+			return &wire.Response{Type: wire.RespError, Error: &wire.Error{
+				Code: wire.CodeBadRequest, Message: err.Error(),
+			}}
+		}
+		sess.mu.Lock()
+		sess.nextStmt++
+		id := sess.nextStmt
+		sess.stmts[id] = norm
+		sess.mu.Unlock()
+		return &wire.Response{Type: wire.RespPrepared, StmtID: id}
+
+	case wire.ReqExecute:
+		sess.mu.Lock()
+		sql, ok := sess.stmts[req.StmtID]
+		sess.mu.Unlock()
+		if !ok {
+			return &wire.Response{Type: wire.RespError, Error: &wire.Error{
+				Code: wire.CodeBadRequest, Message: fmt.Sprintf("unknown stmt_id %d", req.StmtID),
+			}}
+		}
+		sess.queries.Add(1)
+		res, err := s.eng.ExecWithContext(s.baseCtx, sql, sess.execOpts())
+		if err != nil {
+			return errResponse(err)
+		}
+		return &wire.Response{Type: wire.RespResult, Result: encodeResult(res)}
+
+	case wire.ReqOptions:
+		sess.mu.Lock()
+		sess.opts.Parallelism = req.Parallelism
+		sess.opts.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		sess.mu.Unlock()
+		return &wire.Response{Type: wire.RespOK}
+
+	case wire.ReqClose:
+		return &wire.Response{Type: wire.RespOK}
+
+	default:
+		return &wire.Response{Type: wire.RespError, Error: &wire.Error{
+			Code: wire.CodeBadRequest, Message: fmt.Sprintf("unknown request type %q", req.Type),
+		}}
+	}
+}
+
+func errResponse(err error) *wire.Response {
+	return &wire.Response{Type: wire.RespError, Error: &wire.Error{
+		Code:    wire.CodeFor(err),
+		Message: err.Error(),
+	}}
+}
+
+// encodeResult converts an engine result to its wire form, flattening the
+// PrepareReport to the degradation flags remote callers act on.
+func encodeResult(res *engine.Result) *wire.Result {
+	wr := &wire.Result{
+		Columns:        res.Columns,
+		Rows:           wire.EncodeRows(res.Rows),
+		RowsAffected:   res.RowsAffected,
+		Plan:           res.Plan,
+		CompileSeconds: res.Metrics.CompileSeconds,
+		ExecSeconds:    res.Metrics.ExecSeconds,
+		PlanCacheHit:   res.PlanCacheHit,
+	}
+	if res.Prepare != nil {
+		wr.Degraded = res.Prepare.Degraded
+		for _, tr := range res.Prepare.Tables {
+			if tr.Degraded {
+				wr.DegradedTables = append(wr.DegradedTables, tr.Table+": "+tr.DegradeReason)
+			}
+		}
+	}
+	return wr
+}

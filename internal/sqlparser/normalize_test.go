@@ -1,0 +1,99 @@
+package sqlparser
+
+import "testing"
+
+func TestNormalizeCollapsesWhitespaceAndCase(t *testing.T) {
+	variants := []string{
+		"SELECT * FROM car WHERE make = 'Toyota' AND price > 5000",
+		"select  *  from CAR where MAKE='Toyota'   and price>5000",
+		"Select *\n\tFROM Car\nWHERE make = 'Toyota' -- comment\n  AND price > 5000",
+		"SELECT * FROM car WHERE make = 'Toyota' AND price > 5000;",
+	}
+	want, err := Normalize(variants[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range variants[1:] {
+		got, err := Normalize(v)
+		if err != nil {
+			t.Fatalf("Normalize(%q): %v", v, err)
+		}
+		if got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestNormalizeKeepsSemanticDifferences(t *testing.T) {
+	base := "SELECT * FROM car WHERE make = 'Toyota' AND price > 5000"
+	norm := func(s string) string {
+		t.Helper()
+		got, err := Normalize(s)
+		if err != nil {
+			t.Fatalf("Normalize(%q): %v", s, err)
+		}
+		return got
+	}
+	baseN := norm(base)
+	different := []string{
+		// String literal case is semantic: values differ.
+		"SELECT * FROM car WHERE make = 'toyota' AND price > 5000",
+		// Different constant.
+		"SELECT * FROM car WHERE make = 'Toyota' AND price > 6000",
+		// Different operator.
+		"SELECT * FROM car WHERE make = 'Toyota' AND price >= 5000",
+		// Different column.
+		"SELECT * FROM car WHERE model = 'Toyota' AND price > 5000",
+		// Extra predicate.
+		"SELECT * FROM car WHERE make = 'Toyota' AND price > 5000 AND year > 2000",
+		// Int vs float literal parse to different datum kinds.
+		"SELECT * FROM car WHERE make = 'Toyota' AND price > 5000.0",
+	}
+	for _, d := range different {
+		if norm(d) == baseN {
+			t.Errorf("Normalize(%q) collided with %q", d, base)
+		}
+	}
+}
+
+func TestNormalizeStringEscaping(t *testing.T) {
+	a, err := Normalize("SELECT * FROM car WHERE make = 'O''Brien'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Normalize("select * from car where make='O''Brien'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("escaped-quote variants diverged: %q vs %q", a, b)
+	}
+	c, err := Normalize("SELECT * FROM car WHERE make = 'OBrien'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatalf("different string values collided: %q", a)
+	}
+}
+
+func TestNormalizeErrorsOnUnlexable(t *testing.T) {
+	if _, err := Normalize("SELECT 'unterminated"); err == nil {
+		t.Fatal("want lex error for unterminated string")
+	}
+}
+
+// TestNormalizeIdempotent: normalizing a normalized statement is a no-op.
+func TestNormalizeIdempotent(t *testing.T) {
+	n1, err := Normalize("select c.id , c.price from car c , owner o where c.ownerid = o.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := Normalize(n1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 {
+		t.Fatalf("not idempotent: %q -> %q", n1, n2)
+	}
+}

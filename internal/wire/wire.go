@@ -1,0 +1,278 @@
+// Package wire defines the SQL service's TCP frame protocol, shared by
+// internal/server and internal/client so the two sides can never drift.
+//
+// Framing is length-prefixed: each frame is a 4-byte big-endian payload
+// length followed by that many bytes of JSON. A session is a sequence of
+// request frames answered in order by exactly one response frame each —
+// there is no pipelining, interleaving, or server push, which keeps both
+// ends trivially correct and makes the protocol easy to test byte-for-byte.
+//
+// Request types:
+//
+//	query    {type, sql}                 run one statement
+//	prepare  {type, sql}                 register a prepared statement
+//	execute  {type, stmt_id}             run a prepared statement
+//	options  {type, parallelism, timeout_ms}  set per-session exec options
+//	close    {type}                      end the session
+//
+// Response types:
+//
+//	result    {type, result}             rows/plan/metrics of a statement
+//	prepared  {type, stmt_id}            prepared-statement handle
+//	ok        {type}                     options/close acknowledgement
+//	error     {type, error{code, message}}  typed failure
+//
+// Error frames carry a machine-readable code so clients can reconstruct
+// the engine's sentinel errors: govern.ErrOverloaded and
+// govern.ErrMemoryBudget survive the wire distinctly (errors.Is works on
+// the client side), as do engine-closed and deadline expiry.
+//
+// Result rows carry typed values. Floats are encoded as hexadecimal
+// strconv strings ('x' format), which round-trip float64 bit-exactly —
+// including values JSON numbers cannot carry (±Inf, NaN) — so a served
+// result is byte-identical to the same statement run in-process; the wire
+// differential harness pins that.
+package wire
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/engine"
+	"repro/internal/govern"
+	"repro/internal/value"
+)
+
+// MaxFrameBytes bounds one frame's payload; a peer announcing more is
+// corrupt or hostile and the connection is dropped.
+const MaxFrameBytes = 64 << 20
+
+// Request frame types.
+const (
+	ReqQuery   = "query"
+	ReqPrepare = "prepare"
+	ReqExecute = "execute"
+	ReqOptions = "options"
+	ReqClose   = "close"
+)
+
+// Response frame types.
+const (
+	RespResult   = "result"
+	RespPrepared = "prepared"
+	RespOK       = "ok"
+	RespError    = "error"
+)
+
+// Error codes carried by error frames.
+const (
+	CodeOverloaded   = "overloaded"    // govern.ErrOverloaded: shed by admission control
+	CodeMemoryBudget = "memory_budget" // govern.ErrMemoryBudget: budget exhausted
+	CodeClosed       = "engine_closed" // engine.ErrClosed: engine shut down
+	CodeTimeout      = "timeout"       // statement deadline expired
+	CodeBadRequest   = "bad_request"   // malformed frame or unknown stmt_id
+	CodeError        = "error"         // anything else (parse errors, unknown tables, …)
+)
+
+// Request is one client→server frame.
+type Request struct {
+	Type string `json:"type"`
+	SQL  string `json:"sql,omitempty"`
+	// StmtID names a prepared statement for ReqExecute.
+	StmtID int64 `json:"stmt_id,omitempty"`
+	// Parallelism and TimeoutMS set the session's exec options (ReqOptions);
+	// zero keeps the engine default.
+	Parallelism int   `json:"parallelism,omitempty"`
+	TimeoutMS   int64 `json:"timeout_ms,omitempty"`
+}
+
+// Response is one server→client frame.
+type Response struct {
+	Type   string  `json:"type"`
+	StmtID int64   `json:"stmt_id,omitempty"`
+	Result *Result `json:"result,omitempty"`
+	Error  *Error  `json:"error,omitempty"`
+}
+
+// Error is the typed failure payload of an error frame.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Result is a statement outcome on the wire.
+type Result struct {
+	Columns        []string  `json:"columns,omitempty"`
+	Rows           [][]Value `json:"rows,omitempty"`
+	RowsAffected   int       `json:"rows_affected,omitempty"`
+	Plan           string    `json:"plan,omitempty"`
+	CompileSeconds float64   `json:"compile_s"`
+	ExecSeconds    float64   `json:"exec_s"`
+	// Degraded and DegradedTables surface the JITS graceful-degradation
+	// flags ("table: reason") so clients see exactly what an embedded
+	// caller would read from Result.Prepare.
+	Degraded       bool     `json:"degraded,omitempty"`
+	DegradedTables []string `json:"degraded_tables,omitempty"`
+	// PlanCacheHit reports that the server reused a compiled plan.
+	PlanCacheHit bool `json:"plan_cache_hit,omitempty"`
+}
+
+// Value is one typed datum on the wire. K is the value.Kind; exactly one
+// payload field is meaningful per kind.
+type Value struct {
+	K uint8  `json:"k"`
+	I int64  `json:"i,omitempty"`
+	F string `json:"f,omitempty"` // hex float (strconv 'x'): bit-exact round trip
+	S string `json:"s,omitempty"`
+}
+
+// FromDatum converts an engine datum to its wire form.
+func FromDatum(d value.Datum) Value {
+	switch d.Kind() {
+	case value.KindInt:
+		return Value{K: uint8(value.KindInt), I: d.Int()}
+	case value.KindFloat:
+		return Value{K: uint8(value.KindFloat), F: strconv.FormatFloat(d.Float(), 'x', -1, 64)}
+	case value.KindString:
+		return Value{K: uint8(value.KindString), S: d.Str()}
+	default:
+		return Value{K: uint8(value.KindNull)}
+	}
+}
+
+// Datum converts a wire value back to an engine datum.
+func (v Value) Datum() (value.Datum, error) {
+	switch value.Kind(v.K) {
+	case value.KindNull:
+		return value.Null, nil
+	case value.KindInt:
+		return value.NewInt(v.I), nil
+	case value.KindFloat:
+		f, err := strconv.ParseFloat(v.F, 64)
+		if err != nil {
+			return value.Null, fmt.Errorf("wire: bad float %q: %w", v.F, err)
+		}
+		return value.NewFloat(f), nil
+	case value.KindString:
+		return value.NewString(v.S), nil
+	default:
+		return value.Null, fmt.Errorf("wire: unknown value kind %d", v.K)
+	}
+}
+
+// EncodeRows converts engine rows to wire rows.
+func EncodeRows(rows [][]value.Datum) [][]Value {
+	if rows == nil {
+		return nil
+	}
+	out := make([][]Value, len(rows))
+	for i, row := range rows {
+		wr := make([]Value, len(row))
+		for j, d := range row {
+			wr[j] = FromDatum(d)
+		}
+		out[i] = wr
+	}
+	return out
+}
+
+// DecodeRows converts wire rows back to engine rows.
+func DecodeRows(rows [][]Value) ([][]value.Datum, error) {
+	if rows == nil {
+		return nil, nil
+	}
+	out := make([][]value.Datum, len(rows))
+	for i, row := range rows {
+		dr := make([]value.Datum, len(row))
+		for j, v := range row {
+			d, err := v.Datum()
+			if err != nil {
+				return nil, err
+			}
+			dr[j] = d
+		}
+		out[i] = dr
+	}
+	return out, nil
+}
+
+// WriteFrame marshals v and writes one length-prefixed frame.
+func WriteFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame into v. io.EOF is returned
+// untouched when the peer closed cleanly between frames.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("wire: read header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("wire: read payload: %w", err)
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return nil
+}
+
+// CodeFor maps an engine error to its wire code — the server side of the
+// typed-error contract.
+func CodeFor(err error) string {
+	switch {
+	case errors.Is(err, govern.ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, govern.ErrMemoryBudget):
+		return CodeMemoryBudget
+	case errors.Is(err, engine.ErrClosed):
+		return CodeClosed
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return CodeTimeout
+	default:
+		return CodeError
+	}
+}
+
+// BaseError returns the sentinel error a wire code stands for, or nil when
+// the code has no sentinel — the client side of the typed-error contract.
+func BaseError(code string) error {
+	switch code {
+	case CodeOverloaded:
+		return govern.ErrOverloaded
+	case CodeMemoryBudget:
+		return govern.ErrMemoryBudget
+	case CodeClosed:
+		return engine.ErrClosed
+	case CodeTimeout:
+		return context.DeadlineExceeded
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/govern"
+	"repro/internal/value"
+)
+
+func TestWireCodecRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	reqs := []Request{
+		{Type: ReqQuery, SQL: "SELECT * FROM car"},
+		{Type: ReqPrepare, SQL: "SELECT 1"},
+		{Type: ReqExecute, StmtID: 7},
+		{Type: ReqOptions, Parallelism: 4, TimeoutMS: 250},
+		{Type: ReqClose},
+	}
+	for _, r := range reqs {
+		if err := WriteFrame(&buf, &r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range reqs {
+		var got Request
+		if err := ReadFrame(&buf, &got); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("frame %d: %+v != %+v", i, got, want)
+		}
+	}
+	var eof Request
+	if err := ReadFrame(&buf, &eof); err != io.EOF {
+		t.Fatalf("exhausted stream: %v, want io.EOF", err)
+	}
+}
+
+func TestWireValueExactFloats(t *testing.T) {
+	floats := []float64{
+		0, 1.5, -0.1, 1.0 / 3.0, math.Pi, 1e300, 5e-324, // denormal min
+		math.Inf(1), math.Inf(-1), math.Copysign(0, -1),
+	}
+	for _, f := range floats {
+		v := FromDatum(value.NewFloat(f))
+		d, err := v.Datum()
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		got, _ := d.AsFloat()
+		if math.Float64bits(got) != math.Float64bits(f) {
+			t.Fatalf("float %v: round-tripped to %v (bits differ)", f, got)
+		}
+	}
+	// NaN compares unequal to itself; check bit identity directly.
+	nan := FromDatum(value.NewFloat(math.NaN()))
+	d, err := nan.Datum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.AsFloat()
+	if !math.IsNaN(got) {
+		t.Fatalf("NaN round-tripped to %v", got)
+	}
+}
+
+func TestWireRowsRoundTrip(t *testing.T) {
+	rows := [][]value.Datum{
+		{value.NewInt(-7), value.NewString("O'Brien"), value.NewFloat(3.25), value.Null},
+		{value.NewInt(0), value.NewString(""), value.NewFloat(math.Inf(1)), value.NewString("x\ny")},
+	}
+	dec, err := DecodeRows(EncodeRows(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(rows) {
+		t.Fatalf("%d rows != %d", len(dec), len(rows))
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if FromDatum(dec[i][j]) != FromDatum(rows[i][j]) {
+				t.Fatalf("row %d col %d: %v != %v", i, j, dec[i][j], rows[i][j])
+			}
+		}
+	}
+	if got, err := DecodeRows(nil); got != nil || err != nil {
+		t.Fatalf("DecodeRows(nil) = %v, %v", got, err)
+	}
+}
+
+func TestWireFrameLimit(t *testing.T) {
+	// A header announcing an absurd payload must be rejected before any
+	// allocation, not trusted.
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	var req Request
+	if err := ReadFrame(bytes.NewReader(hdr), &req); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestWireErrorCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		code string
+	}{
+		{govern.ErrOverloaded, CodeOverloaded},
+		{fmt.Errorf("admission: %w", govern.ErrOverloaded), CodeOverloaded},
+		{govern.ErrMemoryBudget, CodeMemoryBudget},
+		{engine.ErrClosed, CodeClosed},
+		{context.DeadlineExceeded, CodeTimeout},
+		{errors.New("no such table"), CodeError},
+	}
+	for _, c := range cases {
+		if got := CodeFor(c.err); got != c.code {
+			t.Fatalf("CodeFor(%v) = %q, want %q", c.err, got, c.code)
+		}
+	}
+	// Sentinel round trip: a code's base error must satisfy errors.Is
+	// against the sentinel that produced the code.
+	roundTrips := []struct {
+		code     string
+		sentinel error
+	}{
+		{CodeOverloaded, govern.ErrOverloaded},
+		{CodeMemoryBudget, govern.ErrMemoryBudget},
+		{CodeClosed, engine.ErrClosed},
+		{CodeTimeout, context.DeadlineExceeded},
+	}
+	for _, rt := range roundTrips {
+		if !errors.Is(BaseError(rt.code), rt.sentinel) {
+			t.Fatalf("BaseError(%q) does not match %v", rt.code, rt.sentinel)
+		}
+	}
+	if BaseError(CodeError) != nil || BaseError(CodeBadRequest) != nil {
+		t.Fatal("generic codes must have no sentinel")
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke debug-smoke overload-smoke serve-smoke fuzz chaos check
+.PHONY: all build test race vet bench bench-smoke debug-smoke overload-smoke serve-smoke fuzz chaos chaos-net check
 
 all: build
 
@@ -69,5 +69,15 @@ fuzz:
 # test that forgot to reset the fault registry fails here.
 chaos:
 	$(GO) test -run Chaos -count=2 ./...
+
+# Network chaos under the race detector: the full workload replayed through
+# fault-injected connections (latency, stalls, torn writes, resets) with
+# client retries on, asserting byte-identical results against a fault-free
+# engine and zero double-applied DML; plus the exactly-once, drain, reap and
+# client-resilience proofs. CI runs this target.
+chaos-net:
+	$(GO) test -race -count=1 \
+		-run 'TestNetChaos|TestExactlyOnce|TestShutdown|TestStalledPeer|TestTornFrame|TestCloseMidRoundTrip|TestDrainingHealth|TestRetry|TestReconnect|TestFreshSession|TestConn|TestReadFrameDeadline|TestWriteFrameDeadline|TestServeChaosQuick' \
+		./internal/server/ ./internal/client/ ./internal/wire/ ./internal/faultinject/ ./internal/experiments/
 
 check: build vet test race serve-smoke

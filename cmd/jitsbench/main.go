@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	jitsbench [-exp all|table2|table3|fig3|fig4|fig5|fig6|oltp|parallel|overload|serve]
+//	jitsbench [-exp all|table2|table3|fig3|fig4|fig5|fig6|oltp|parallel|overload|serve|serve-chaos]
 //	          [-scale 0.01] [-queries 840] [-seed 42] [-smax 0.5]
 //	          [-sample 2000] [-csv dir] [-pergroup] [-parallelism 1]
 //	          [-gate 4] [-trace file|-] [-metrics] [-debug-addr host:port]
 //	          [-debug-linger 0s] [-sessions 1,2,4,8] [-plan-cache -1]
+//	          [-fault-every 0,29,83]
 //	jitsbench -serve host:port   [-scale ...] [-plan-cache ...] [-debug-addr ...]
+//	                             [-net-faults spec] [-drain 30s]
 //	jitsbench -connect host:port
 //
 // -csv writes every figure's data as CSV files for plotting; -pergroup
@@ -37,12 +39,19 @@
 //
 // -serve starts the multi-session SQL service (internal/server) on the
 // given address over a freshly loaded workload dataset and blocks until
-// SIGINT/SIGTERM; -plan-cache sizes the engine's compiled-plan cache (0
-// off, -1 default, n entries). -connect opens an interactive line-based SQL
-// session against a running server. The "serve" experiment sweeps -sessions
-// concurrent client sessions × plan cache off/on against a real server and
-// writes serve.csv; like "overload" it is wall-clock dependent and excluded
-// from "all".
+// SIGINT/SIGTERM, then drains gracefully: in-flight statements get up to
+// -drain (default 30s) to finish before the hard cancel. -plan-cache sizes
+// the engine's compiled-plan cache (0 off, -1 default, n entries).
+// -net-faults arms wire-level fault injection on every accepted connection
+// using the JITS_FAULTS spec syntax over the conn.* points (e.g.
+// "conn.reset:every=200;conn.latency:every=20,latency=2ms") — a chaos
+// rehearsal against a live server. -connect opens an interactive
+// line-based SQL session against a running server. The "serve" experiment
+// sweeps -sessions concurrent client sessions × plan cache off/on against
+// a real server and writes serve.csv; the "serve-chaos" experiment sweeps
+// conn fault class × -fault-every period × client retry policy off/on over
+// fault-injected connections and writes serve_chaos.csv. Like "overload",
+// both are wall-clock dependent and excluded from "all".
 //
 // -debug-addr starts the embedded debug HTTP server (see
 // internal/debugserver) on the given address (port 0 picks a free port; the
@@ -91,6 +100,9 @@ func main() {
 		connectF = flag.String("connect", "", "connect an interactive SQL session to a running server at this address")
 		planCF   = flag.Int("plan-cache", -1, "compiled-plan cache size for -serve (0 disables, -1 selects the default size)")
 		sessF    = flag.String("sessions", "1,2,4,8", "comma-separated session counts for -exp serve")
+		faultsF  = flag.String("net-faults", "", `arm wire fault injection for -serve, e.g. "conn.reset:every=200;conn.latency:every=20,latency=2ms"`)
+		drainF   = flag.Duration("drain", 30*time.Second, "graceful-drain budget for -serve on SIGINT/SIGTERM")
+		everyF   = flag.String("fault-every", "0,29,83", "comma-separated fault periods for -exp serve-chaos (0 = fault-free baseline)")
 	)
 	flag.Parse()
 	csvDir = *csvDirF
@@ -164,7 +176,7 @@ func main() {
 		return
 	}
 	if *serveF != "" {
-		if err := serveMode(opts, *serveF, *planCF); err != nil {
+		if err := serveMode(opts, *serveF, *planCF, *faultsF, *drainF); err != nil {
 			fmt.Fprintln(os.Stderr, "jitsbench:", err)
 			os.Exit(1)
 		}
@@ -199,6 +211,9 @@ func main() {
 	}
 	if *exp == "serve" { // opt-in for the same reason: real TCP wall clock
 		run("serve", func() error { return serveExperiment(opts, *sessF) })
+	}
+	if *exp == "serve-chaos" { // opt-in: injects real faults into real TCP
+		run("serve-chaos", func() error { return serveChaosExperiment(opts, *everyF) })
 	}
 }
 

@@ -40,6 +40,10 @@ type Server struct {
 	// attachment is race-free against in-flight requests, and typed as a
 	// closure so this package needs no dependency on internal/server.
 	sessions atomic.Pointer[func() any]
+	// draining reports whether the attached SQL service is in graceful
+	// shutdown; /debug/health turns it into a 503 so load balancers stop
+	// routing to this node while in-flight statements finish.
+	draining atomic.Pointer[func() bool]
 	ln       net.Listener
 	srv      *http.Server
 }
@@ -83,6 +87,16 @@ func (s *Server) SetSessionSource(fn func() any) {
 		return
 	}
 	s.sessions.Store(&fn)
+}
+
+// SetDrainingSource attaches the SQL service's draining probe (typically
+// server.Draining); nil detaches it.
+func (s *Server) SetDrainingSource(fn func() bool) {
+	if fn == nil {
+		s.draining.Store(nil)
+		return
+	}
+	s.draining.Store(&fn)
 }
 
 // Start begins listening on addr (host:port; port 0 picks a free port) and
@@ -204,6 +218,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	// backs off before the engine starts shedding.
 	if gov.Saturated() {
 		status = "overloaded"
+		code = http.StatusServiceUnavailable
+	}
+	// A draining SQL service outranks both: the node is going away, stop
+	// routing to it even though in-flight statements are still finishing.
+	if fn := s.draining.Load(); fn != nil && (*fn)() {
+		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
 	deg := eng.Degradation()

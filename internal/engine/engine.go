@@ -111,6 +111,11 @@ type ExecOptions struct {
 	// Timeout overrides Config.StatementTimeout for this statement; 0
 	// keeps the engine default.
 	Timeout time.Duration
+	// Annotations are free-form labels attached to the statement's
+	// flight-recorder record (the SQL service tags statements that arrived
+	// through a retry or on a resumed session). Ignored while the recorder
+	// is disabled.
+	Annotations []string
 }
 
 // Metrics reports the simulated timing split of one statement.
@@ -317,6 +322,17 @@ func (e *Engine) Close() error {
 	return nil
 }
 
+// Drain waits until every admitted statement has released its governor slot
+// and the admission queue is empty — the engine's graceful-drain hook.
+// Callers that want a true drain must stop feeding the engine first (the SQL
+// service stops accepting and quiesces its sessions before calling this);
+// Drain itself rejects nothing. It returns ctx.Err() if the context expires
+// while statements are still in flight, and immediately when admission
+// control is disabled (there are no slots to account for).
+func (e *Engine) Drain(ctx context.Context) error {
+	return e.governor.WaitIdle(ctx)
+}
+
 // Exec parses and runs one SQL statement at the engine's default degree of
 // parallelism.
 func (e *Engine) Exec(sql string) (*Result, error) {
@@ -408,6 +424,7 @@ func (e *Engine) ExecWithContext(ctx context.Context, sql string, opts ExecOptio
 				var rec *flightrec.Record
 				if e.recorder.Enabled() {
 					rec = e.recorder.Begin(ts, sql)
+					rec.Annotations = opts.Annotations
 				}
 				stmtSelect.Inc()
 				res, err := e.execCachedSelect(ctx, ent, dop, ts, rec, mem)
@@ -452,6 +469,7 @@ func (e *Engine) ExecWithContext(ctx context.Context, sql string, opts ExecOptio
 	var rec *flightrec.Record
 	if e.recorder.Enabled() {
 		rec = e.recorder.Begin(ts, sql)
+		rec.Annotations = opts.Annotations
 	}
 	var res *Result
 	var kind string

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/faultinject"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// This file is the network-chaos serving experiment: the TCP SQL service
+// driven through deterministically fault-injected connections, sweeping
+// fault class × fault rate × retry policy. It quantifies what the
+// robustness layer buys: with retries off, every injected fault surfaces as
+// a client-visible error (the app must re-dial); with retries on, faults
+// cost latency but zero errors. The experiment uses a PRIVATE faultinject
+// registry so an armed global registry (JITS_FAULTS) is unaffected.
+
+// ServeChaosRow is one (fault class, fault period, retry policy) cell.
+type ServeChaosRow struct {
+	Fault       string // fault point name; "none" for the fault-free baseline
+	Every       int    // fault period (fires every Nth conn op); 0 = off
+	Retry       bool
+	Statements  int // statements attempted
+	Errors      int // statements that surfaced an error to the caller
+	Redials     int // app-level re-dials after a poisoned conn (retry off)
+	Retries     int64
+	Reconnects  int64
+	Resumes     int64
+	Fired       int64 // faults actually injected
+	WallSeconds float64
+	P50         time.Duration
+	P99         time.Duration
+}
+
+// ServeChaosPoints are the conn fault classes the sweep covers.
+func ServeChaosPoints() []faultinject.Point {
+	return []faultinject.Point{
+		faultinject.ConnLatency,
+		faultinject.ConnStall,
+		faultinject.ConnTornWrite,
+		faultinject.ConnReset,
+	}
+}
+
+// ServeChaos sweeps fault class × period × retry policy over a real served
+// engine. A period of 0 in everies adds the fault-free baseline (labelled
+// "none") once per retry setting.
+//
+// Period semantics for sever-class faults (torn-write, reset): a fire
+// consumes exactly `every` probed I/O ops and then kills the connection, so
+// a period smaller than the ops one reconnect+query exchange needs (~16)
+// severs EVERY exchange — the total-outage regime, where no retry policy
+// can make progress and errors are expected. Periods above ~20 model the
+// transient-fault regime the retry layer is built for.
+func ServeChaos(opts Options, everies []int) ([]ServeChaosRow, error) {
+	queries := opts.Queries
+	if queries <= 0 || queries > 120 {
+		queries = 120
+	}
+	var out []ServeChaosRow
+	for _, every := range everies {
+		points := ServeChaosPoints()
+		if every <= 0 {
+			points = []faultinject.Point{""} // fault-free baseline
+		}
+		for _, point := range points {
+			for _, retry := range []bool{false, true} {
+				row, err := serveChaosOne(opts, point, every, retry, queries)
+				if err != nil {
+					return nil, fmt.Errorf("serve-chaos %s every=%d retry=%v: %w", point, every, retry, err)
+				}
+				out = append(out, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+func serveChaosOne(opts Options, point faultinject.Point, every int, retry bool, queries int) (ServeChaosRow, error) {
+	cfg := engine.Config{Parallelism: opts.Parallelism, Trace: opts.Trace, JITS: opts.jitsConfig()}
+	e := opts.newEngine(cfg)
+	d, err := workload.Load(e, workload.Spec{Scale: opts.Scale, Seed: opts.Seed})
+	if err != nil {
+		return ServeChaosRow{}, err
+	}
+
+	reg := faultinject.NewRegistry()
+	label := "none"
+	if point != "" && every > 0 {
+		label = string(point)
+		spec := faultinject.SeedSpec(opts.Seed, every)
+		if point == faultinject.ConnStall {
+			spec.Latency = 150 * time.Millisecond
+		}
+		if point == faultinject.ConnLatency {
+			spec.Latency = time.Millisecond
+		}
+		if err := reg.Arm(point, spec); err != nil {
+			return ServeChaosRow{}, err
+		}
+	}
+
+	srv := server.NewWith(e, server.Config{
+		IdleTimeout:  2 * time.Second,
+		FrameTimeout: 100 * time.Millisecond,
+		ConnWrapper:  reg.WrapConn,
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return ServeChaosRow{}, err
+	}
+	defer srv.Close()
+
+	ccfg := client.Config{FrameTimeout: 100 * time.Millisecond, ConnWrapper: reg.WrapConn}
+	if retry {
+		ccfg.Retry = client.RetryPolicy{
+			MaxAttempts: 10,
+			BaseBackoff: 2 * time.Millisecond,
+			MaxBackoff:  50 * time.Millisecond,
+			Seed:        opts.Seed,
+		}
+	}
+	// With retry off even the dial handshake can hit an injected fault;
+	// a plain app keeps re-dialing, so the experiment does too (bounded).
+	dial := func() (c *client.Conn, err error) {
+		for attempt := 0; attempt < 25; attempt++ {
+			if c, err = client.DialWith(addr, ccfg); err == nil {
+				return c, nil
+			}
+		}
+		return nil, err
+	}
+
+	row := ServeChaosRow{Fault: label, Every: every, Retry: retry}
+	conn, err := dial()
+	if err != nil {
+		return ServeChaosRow{}, err
+	}
+	accumulate := func(c *client.Conn) {
+		s := c.Stats()
+		row.Retries += s.Retries
+		row.Reconnects += s.Reconnects
+		row.Resumes += s.Resumes
+	}
+
+	var latencies []time.Duration
+	start := time.Now()
+	for _, q := range d.Queries(queries, opts.Seed+1) {
+		row.Statements++
+		t0 := time.Now()
+		_, qerr := conn.Query(q.SQL)
+		if qerr == nil {
+			latencies = append(latencies, time.Since(t0))
+			continue
+		}
+		row.Errors++
+		// Without a retry policy a poisoned conn stays broken: the
+		// application's only move is a fresh dial — count that disruption.
+		if errors.Is(qerr, client.ErrBroken) || errors.Is(qerr, client.ErrSessionLost) {
+			accumulate(conn)
+			_ = conn.Close()
+			conn, err = dial()
+			if err != nil {
+				return ServeChaosRow{}, fmt.Errorf("re-dial: %w", err)
+			}
+			row.Redials++
+		}
+	}
+	row.WallSeconds = time.Since(start).Seconds()
+	accumulate(conn)
+	_ = conn.Close()
+
+	row.Fired = reg.Fired(point)
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		row.P50 = latencies[len(latencies)/2]
+		row.P99 = latencies[len(latencies)*99/100]
+	}
+	return row, nil
+}

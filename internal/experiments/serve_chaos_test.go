@@ -1,0 +1,46 @@
+package experiments
+
+import "testing"
+
+// TestServeChaosQuick runs the chaos sweep at a tiny scale. The invariants:
+// the baseline is error-free, retry-on cells absorb every fault (zero
+// client-visible errors, zero app re-dials), and every faulted cell actually
+// injected something.
+func TestServeChaosQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is slow")
+	}
+	// Period 29 is in the transient-fault regime (see the ServeChaos doc
+	// comment): large enough that a reconnect+query cycle can complete
+	// between fires, so the retry policy is expected to absorb everything.
+	opts := Options{Scale: 0.002, Queries: 20, Seed: 42, SMax: 0.5, SampleSize: 200}
+	rows, err := ServeChaos(opts, []int{0, 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// every=0 → 1 baseline point × 2 retry settings; every=13 → 4 fault
+	// classes × 2 retry settings.
+	if len(rows) != 10 {
+		t.Fatalf("%d rows, want 10", len(rows))
+	}
+	for _, r := range rows {
+		if r.Statements != opts.Queries {
+			t.Errorf("%s every=%d retry=%v: %d statements, want %d",
+				r.Fault, r.Every, r.Retry, r.Statements, opts.Queries)
+		}
+		if r.Fault == "none" {
+			if r.Errors != 0 || r.Fired != 0 || r.Redials != 0 {
+				t.Errorf("baseline retry=%v: errors=%d fired=%d redials=%d, want all zero",
+					r.Retry, r.Errors, r.Fired, r.Redials)
+			}
+			continue
+		}
+		if r.Fired == 0 {
+			t.Errorf("%s every=%d retry=%v: fault never fired", r.Fault, r.Every, r.Retry)
+		}
+		if r.Retry && (r.Errors != 0 || r.Redials != 0) {
+			t.Errorf("%s every=%d: retry policy leaked errors=%d redials=%d",
+				r.Fault, r.Every, r.Errors, r.Redials)
+		}
+	}
+}

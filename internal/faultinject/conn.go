@@ -1,0 +1,83 @@
+package faultinject
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Default sleep durations for the connection fault points when the armed
+// Spec carries no explicit Latency. Stall is deliberately long: it exists to
+// outlast frame deadlines, not to model jitter.
+const (
+	DefaultConnLatency = 2 * time.Millisecond
+	DefaultConnStall   = 250 * time.Millisecond
+)
+
+// faultyConn is a net.Conn whose Read and Write probe the connection fault
+// points of one registry. Deadline and address methods pass through, so the
+// wrapper composes with the server's frame deadlines and the client's dial
+// timeouts — which is exactly what the chaos suite exercises: an injected
+// stall makes a real deadline expire, an injected reset makes a real retry
+// path run.
+type faultyConn struct {
+	net.Conn
+	r *Registry
+}
+
+// WrapConn wraps c so its Read/Write probe r's conn.* fault points. With
+// nothing armed the wrapper costs one atomic load per op.
+func (r *Registry) WrapConn(c net.Conn) net.Conn {
+	return &faultyConn{Conn: c, r: r}
+}
+
+// WrapConn wraps c over the default registry.
+func WrapConn(c net.Conn) net.Conn { return defaultRegistry.WrapConn(c) }
+
+// sleepConn handles the two latency-shaped points: it sleeps the armed
+// Latency (or the point's default) when the point fires.
+func (f *faultyConn) sleepConn(p Point, def time.Duration) {
+	fired, _, spec := f.r.fire(p)
+	if !fired {
+		return
+	}
+	d := spec.Latency
+	if d <= 0 {
+		d = def
+	}
+	time.Sleep(d)
+}
+
+// sever closes the underlying connection and returns the fault as the op's
+// error. Closing (not just erroring) matters: the peer observes a real
+// EOF/RST, so both sides of the protocol exercise their failure paths.
+func (f *faultyConn) sever(fault error) error {
+	_ = f.Conn.Close()
+	return fmt.Errorf("faultinject: conn severed: %w", fault)
+}
+
+func (f *faultyConn) Read(p []byte) (int, error) {
+	if f.r.Enabled() {
+		f.sleepConn(ConnLatency, DefaultConnLatency)
+		f.sleepConn(ConnStall, DefaultConnStall)
+		if err := f.r.Hit(ConnReset); err != nil {
+			return 0, f.sever(err)
+		}
+	}
+	return f.Conn.Read(p)
+}
+
+func (f *faultyConn) Write(p []byte) (int, error) {
+	if f.r.Enabled() {
+		f.sleepConn(ConnLatency, DefaultConnLatency)
+		f.sleepConn(ConnStall, DefaultConnStall)
+		if err := f.r.Hit(ConnReset); err != nil {
+			return 0, f.sever(err)
+		}
+		if err := f.r.Hit(ConnTornWrite); err != nil {
+			n, _ := f.Conn.Write(p[:len(p)/2])
+			return n, f.sever(err)
+		}
+	}
+	return f.Conn.Write(p)
+}

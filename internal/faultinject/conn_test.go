@@ -1,0 +1,95 @@
+package faultinject_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// pipePair returns a wrapped client end and a raw server end.
+func pipePair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	cli, srv := net.Pipe()
+	t.Cleanup(func() { cli.Close(); srv.Close() })
+	return faultinject.WrapConn(cli), srv
+}
+
+func TestConnTornWriteHalvesAndSevers(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	if err := faultinject.Arm(faultinject.ConnTornWrite, faultinject.Spec{Every: 1}); err != nil {
+		t.Fatal(err)
+	}
+	wrapped, peer := pipePair(t)
+
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, _ := peer.Read(buf)
+		got <- buf[:n]
+	}()
+	payload := []byte("0123456789")
+	n, err := wrapped.Write(payload)
+	if err == nil {
+		t.Fatal("torn write reported success")
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("torn write wrote %d bytes, want %d", n, len(payload)/2)
+	}
+	if half := <-got; string(half) != "01234" {
+		t.Fatalf("peer received %q, want the first half", half)
+	}
+	// The connection is severed: the next op fails without faulting again.
+	if _, err := wrapped.Write(payload); err == nil {
+		t.Fatal("write on severed conn succeeded")
+	}
+}
+
+func TestConnResetSeversBeforeIO(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	if err := faultinject.Arm(faultinject.ConnReset, faultinject.Spec{Every: 1}); err != nil {
+		t.Fatal(err)
+	}
+	wrapped, peer := pipePair(t)
+	go func() { _, _ = peer.Write([]byte("x")) }()
+	if _, err := wrapped.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read on reset conn succeeded")
+	}
+	if faultinject.Fired(faultinject.ConnReset) == 0 {
+		t.Fatal("reset never fired")
+	}
+}
+
+func TestConnLatencyDelaysButSucceeds(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	if err := faultinject.Arm(faultinject.ConnLatency,
+		faultinject.Spec{Every: 1, Latency: 10 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	wrapped, peer := pipePair(t)
+	go func() {
+		buf := make([]byte, 1)
+		_, _ = peer.Read(buf)
+	}()
+	start := time.Now()
+	if _, err := wrapped.Write([]byte("x")); err != nil {
+		t.Fatalf("latency fault broke the write: %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("latency fault slept only %v", d)
+	}
+}
+
+func TestConnWrapDisabledIsTransparent(t *testing.T) {
+	faultinject.Reset()
+	wrapped, peer := pipePair(t)
+	go func() { _, _ = peer.Write([]byte("ok")) }()
+	buf := make([]byte, 2)
+	if _, err := wrapped.Read(buf); err != nil || string(buf) != "ok" {
+		t.Fatalf("unarmed wrapped read: %q, %v", buf, err)
+	}
+}

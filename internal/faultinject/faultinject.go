@@ -55,11 +55,29 @@ const (
 	// buffer pool. Statements must respond by degrading or failing with the
 	// typed govern.ErrMemoryBudget — never by panicking or growing anyway.
 	GovernPressure Point = "govern.pressure"
+	// ConnLatency sleeps before a wrapped connection's Read/Write — network
+	// jitter that must never change results (deadlines permitting, nothing
+	// times out; the protocol just runs late).
+	ConnLatency Point = "conn.latency"
+	// ConnStall sleeps long before a wrapped connection's Read/Write —
+	// a stalled peer. The sleep is meant to outlast the other side's frame
+	// deadline, so the op that finally runs finds its deadline expired:
+	// servers must reap the session, clients must reconnect and resume.
+	ConnStall Point = "conn.stall"
+	// ConnTornWrite writes only half of a wrapped connection's Write payload
+	// and then severs the connection — a frame torn mid-flight. The peer
+	// must drop the session (never try to re-synchronize the length-prefixed
+	// stream) and the writer must treat the statement as in-doubt.
+	ConnTornWrite Point = "conn.torn-write"
+	// ConnReset severs a wrapped connection before a Read/Write — the moral
+	// equivalent of ECONNRESET. In-flight statements become in-doubt.
+	ConnReset Point = "conn.reset"
 )
 
 // Points returns all registered fault points in deterministic order.
 func Points() []Point {
-	return []Point{StorageScan, SamplingRows, WorkerPanic, MorselLatency, ArchiveSave, ArchiveLoad, GovernPressure}
+	return []Point{StorageScan, SamplingRows, WorkerPanic, MorselLatency, ArchiveSave, ArchiveLoad, GovernPressure,
+		ConnLatency, ConnStall, ConnTornWrite, ConnReset}
 }
 
 // Spec is one point's firing schedule: the probe fires on every Every-th

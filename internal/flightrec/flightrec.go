@@ -102,6 +102,13 @@ type Record struct {
 	// the engine's plan cache (no parse/JITS-prepare/optimize phases ran).
 	PlanCacheHit bool `json:"plan_cache_hit,omitempty"`
 
+	// Annotations are caller-supplied labels (engine.ExecOptions.Annotations);
+	// the SQL service tags statements that arrived through a client retry
+	// ("wire: retry attempt N") or on a resumed session ("wire: resumed
+	// session"), so a post-mortem shows which statements rode the recovery
+	// paths.
+	Annotations []string `json:"annotations,omitempty"`
+
 	// Err is the statement's error text; empty on success.
 	Err string `json:"error,omitempty"`
 

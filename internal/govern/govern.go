@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/faultinject"
 )
@@ -150,6 +151,27 @@ func (g *Governor) Snapshot() Snapshot {
 	s.GlobalMemUsed = g.pool.Used()
 	s.GlobalMemBudget = g.pool.Cap()
 	return s
+}
+
+// WaitIdle blocks until no statement holds or waits for an admission slot —
+// the governor's half of a graceful drain. It returns ctx.Err() if the
+// context expires first. With admission control disabled there is no slot
+// accounting to drain, so it returns immediately.
+func (g *Governor) WaitIdle(ctx context.Context) error {
+	if g == nil || g.gate == nil {
+		return nil
+	}
+	for {
+		inFlight, queued, _, _ := g.gate.depths()
+		if inFlight == 0 && queued == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
 }
 
 // Saturated reports whether the governor should be considered unhealthy for

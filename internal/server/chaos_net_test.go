@@ -1,0 +1,162 @@
+package server_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/faultinject"
+	"repro/internal/server"
+)
+
+// netChaosWire is the wire-level chaos harness: the full paper workload (DML
+// included) is replayed through a real TCP server whose connections — on
+// BOTH the server accept path and the client dial path — are wrapped in the
+// fault-injected conn, while a fault-free embedded engine with identical
+// configuration replays the same statements directly.
+//
+// The contract is stricter than the engine-level chaos suite's: with the
+// client's retry policy enabled, network faults must be INVISIBLE. Every
+// statement must succeed exactly once, byte-identical to the direct engine —
+// rows, plans, degradation flags, plan-cache-hit flags, simulated timings —
+// and no DML may double-apply (per-statement RowsAffected equality plus
+// whole-table canary scans at the end). A fault class that leaks through as
+// an error, a duplicate apply, or a diverging result fails the test.
+func netChaosWire(t *testing.T, point faultinject.Point, spec faultinject.Spec) {
+	t.Helper()
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+
+	cfg := serveConfig(0)
+	cfg.JITS.SampleSize = 200
+	served, d := loadedEngine(t, cfg, 0.002)
+	direct, _ := loadedEngine(t, cfg, 0.002)
+
+	// Deadlines tight enough that a stall (150ms sleep) trips them, loose
+	// enough that honest slowness (engine exec under -race) never does. The
+	// idle reaper parking a slow session is fine — the client resumes — but
+	// gratuitous reaps just add noise.
+	srv := server.NewWith(served, server.Config{
+		IdleTimeout:  2 * time.Second,
+		FrameTimeout: 100 * time.Millisecond,
+		ConnWrapper:  faultinject.WrapConn,
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	// Arm AFTER the engines are loaded so dataset loading runs fault-free;
+	// conn faults only strike wire I/O either way.
+	if err := faultinject.Arm(point, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := client.DialWith(addr, client.Config{
+		FrameTimeout: 100 * time.Millisecond,
+		ConnWrapper:  faultinject.WrapConn,
+		Retry: client.RetryPolicy{
+			MaxAttempts: 10,
+			BaseBackoff: 2 * time.Millisecond,
+			MaxBackoff:  50 * time.Millisecond,
+			Seed:        7,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	run := func(sql string) {
+		t.Helper()
+		dres, derr := direct.Exec(sql)
+		cres, cerr := conn.Query(sql)
+		if (derr == nil) != (cerr == nil) {
+			t.Fatalf("%q: direct err %v, served err %v", sql, derr, cerr)
+		}
+		if derr != nil {
+			return // both failed identically often enough; text compared below is overkill here
+		}
+		if dres.RowsAffected != cres.RowsAffected {
+			t.Fatalf("%q: rows affected %d served vs %d direct (double-applied DML?)",
+				sql, cres.RowsAffected, dres.RowsAffected)
+		}
+		if diff := diffWire(dres, cres); diff != "" {
+			t.Fatalf("%q: %s", sql, diff)
+		}
+	}
+
+	for _, st := range d.Workload(220, 99, true) {
+		run(st.SQL)
+	}
+
+	// Whole-table canaries: if any DML double-applied (or got lost) on the
+	// served side, the table contents diverge even though every per-statement
+	// comparison passed.
+	for _, canary := range []string{
+		`SELECT c.id FROM car c WHERE c.id > 0`,
+		`SELECT o.id FROM owner o WHERE o.id > 0`,
+	} {
+		run(canary)
+	}
+
+	if fired := faultinject.Fired(point); fired == 0 {
+		t.Fatalf("fault %s never fired — the chaos run tested nothing", point)
+	} else {
+		t.Logf("%s fired %d times; client stats %+v", point, fired, conn.Stats())
+	}
+}
+
+func TestNetChaosLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network chaos replay is slow")
+	}
+	// Frequent small delays: must never trip a deadline, never change results.
+	netChaosWire(t, faultinject.ConnLatency, faultinject.Spec{Every: 7, Offset: 3, Latency: time.Millisecond})
+}
+
+func TestNetChaosStall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network chaos replay is slow")
+	}
+	// Sleeps chosen to outlast the 100ms frame deadlines: the stalled op
+	// finds its deadline expired, the server reaps/parks, the client resumes.
+	netChaosWire(t, faultinject.ConnStall, faultinject.Spec{Every: 47, Offset: 11, Latency: 150 * time.Millisecond})
+}
+
+func TestNetChaosTornWrite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network chaos replay is slow")
+	}
+	netChaosWire(t, faultinject.ConnTornWrite, faultinject.Spec{Every: 41, Offset: 13})
+}
+
+func TestNetChaosReset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network chaos replay is slow")
+	}
+	netChaosWire(t, faultinject.ConnReset, faultinject.Spec{Every: 29, Offset: 5})
+}
+
+// TestNetChaosAllPoints keeps the conn fault-point list and Points() in sync
+// so a future fault class cannot be added without a chaos test noticing.
+func TestNetChaosAllPoints(t *testing.T) {
+	want := map[faultinject.Point]bool{
+		faultinject.ConnLatency:   true,
+		faultinject.ConnStall:     true,
+		faultinject.ConnTornWrite: true,
+		faultinject.ConnReset:     true,
+	}
+	got := 0
+	for _, p := range faultinject.Points() {
+		if want[p] {
+			got++
+		}
+	}
+	if got != len(want) {
+		t.Fatalf("conn fault points: registered %d of %d — %s",
+			got, len(want), fmt.Sprint(faultinject.Points()))
+	}
+}

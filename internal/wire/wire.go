@@ -9,23 +9,39 @@
 //
 // Request types:
 //
-//	query    {type, sql}                 run one statement
+//	hello    {type, token?}              open a session, or resume one by token
+//	query    {type, id, sql}             run one statement
 //	prepare  {type, sql}                 register a prepared statement
-//	execute  {type, stmt_id}             run a prepared statement
+//	execute  {type, id, stmt_id}         run a prepared statement
 //	options  {type, parallelism, timeout_ms}  set per-session exec options
+//	ping     {type}                      liveness / keepalive probe
 //	close    {type}                      end the session
 //
 // Response types:
 //
-//	result    {type, result}             rows/plan/metrics of a statement
+//	welcome   {type, token, resumed}     hello acknowledgement + resume token
+//	result    {type, id, result}         rows/plan/metrics of a statement
 //	prepared  {type, stmt_id}            prepared-statement handle
 //	ok        {type}                     options/close acknowledgement
-//	error     {type, error{code, message}}  typed failure
+//	pong      {type}                     ping acknowledgement
+//	error     {type, id, error{code, message}}  typed failure
+//
+// Exactly-once retries ride on the id field: a client numbers its query/
+// execute requests monotonically, the server remembers recent (id →
+// response) pairs per session, and every response echoes the request's id.
+// A client that loses its connection mid-round-trip reconnects, resumes its
+// session by token, and re-sends the in-doubt request under its ORIGINAL
+// id: if the statement already ran, the cached response comes back instead
+// of a second execution (a DML can never double-apply); if it never ran, it
+// runs now. Requests with id 0 opt out of deduplication — hello, options,
+// prepare, ping and close are idempotent, so clients replay them freely
+// after a reconnect.
 //
 // Error frames carry a machine-readable code so clients can reconstruct
 // the engine's sentinel errors: govern.ErrOverloaded and
 // govern.ErrMemoryBudget survive the wire distinctly (errors.Is works on
-// the client side), as do engine-closed and deadline expiry.
+// the client side), as do engine-closed, server-draining and deadline
+// expiry.
 //
 // Result rows carry typed values. Floats are encoded as hexadecimal
 // strconv strings ('x' format), which round-trip float64 bit-exactly —
@@ -41,7 +57,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"strconv"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/govern"
@@ -54,35 +72,54 @@ const MaxFrameBytes = 64 << 20
 
 // Request frame types.
 const (
+	ReqHello   = "hello"
 	ReqQuery   = "query"
 	ReqPrepare = "prepare"
 	ReqExecute = "execute"
 	ReqOptions = "options"
+	ReqPing    = "ping"
 	ReqClose   = "close"
 )
 
 // Response frame types.
 const (
+	RespWelcome  = "welcome"
 	RespResult   = "result"
 	RespPrepared = "prepared"
 	RespOK       = "ok"
+	RespPong     = "pong"
 	RespError    = "error"
 )
 
 // Error codes carried by error frames.
 const (
-	CodeOverloaded   = "overloaded"    // govern.ErrOverloaded: shed by admission control
-	CodeMemoryBudget = "memory_budget" // govern.ErrMemoryBudget: budget exhausted
-	CodeClosed       = "engine_closed" // engine.ErrClosed: engine shut down
-	CodeTimeout      = "timeout"       // statement deadline expired
-	CodeBadRequest   = "bad_request"   // malformed frame or unknown stmt_id
-	CodeError        = "error"         // anything else (parse errors, unknown tables, …)
+	CodeOverloaded    = "overloaded"     // govern.ErrOverloaded: shed by admission control
+	CodeMemoryBudget  = "memory_budget"  // govern.ErrMemoryBudget: budget exhausted
+	CodeClosed        = "engine_closed"  // engine.ErrClosed: engine shut down
+	CodeDraining      = "draining"       // server refusing new sessions during graceful drain
+	CodeTimeout       = "timeout"        // statement deadline expired
+	CodeBadRequest    = "bad_request"    // malformed frame or unknown stmt_id
+	CodeResumeExpired = "resume_expired" // hello named a token the server no longer holds
+	CodeDedupMiss     = "dedup_miss"     // re-sent id fell out of the dedup window: outcome unknowable
+	CodeError         = "error"          // anything else (parse errors, unknown tables, …)
 )
 
 // Request is one client→server frame.
 type Request struct {
 	Type string `json:"type"`
-	SQL  string `json:"sql,omitempty"`
+	// ID deduplicates query/execute requests: a client numbers them
+	// monotonically per session, and a re-sent in-doubt request reuses its
+	// original ID so the server can return the cached response instead of
+	// executing twice. 0 opts out (idempotent frame types).
+	ID uint64 `json:"id,omitempty"`
+	// Token, on ReqHello, resumes the parked session it names; empty opens
+	// a fresh session.
+	Token string `json:"token,omitempty"`
+	// Retry is the client's retry ordinal for this request (0 = first
+	// attempt); the server forwards it to the flight recorder, so a
+	// post-mortem shows which statements arrived through the retry path.
+	Retry int    `json:"retry,omitempty"`
+	SQL   string `json:"sql,omitempty"`
 	// StmtID names a prepared statement for ReqExecute.
 	StmtID int64 `json:"stmt_id,omitempty"`
 	// Parallelism and TimeoutMS set the session's exec options (ReqOptions);
@@ -93,10 +130,18 @@ type Request struct {
 
 // Response is one server→client frame.
 type Response struct {
-	Type   string  `json:"type"`
-	StmtID int64   `json:"stmt_id,omitempty"`
-	Result *Result `json:"result,omitempty"`
-	Error  *Error  `json:"error,omitempty"`
+	Type string `json:"type"`
+	// ID echoes the request's ID, so a client can detect a desynchronized
+	// stream (a response for a different request) instead of silently
+	// mis-attributing results.
+	ID uint64 `json:"id,omitempty"`
+	// Token, on RespWelcome, is the session's resume token; Resumed reports
+	// whether hello reattached a parked session rather than opening a new one.
+	Token   string  `json:"token,omitempty"`
+	Resumed bool    `json:"resumed,omitempty"`
+	StmtID  int64   `json:"stmt_id,omitempty"`
+	Result  *Result `json:"result,omitempty"`
+	Error   *Error  `json:"error,omitempty"`
 }
 
 // Error is the typed failure payload of an error frame.
@@ -262,17 +307,71 @@ func CodeFor(err error) string {
 
 // BaseError returns the sentinel error a wire code stands for, or nil when
 // the code has no sentinel — the client side of the typed-error contract.
+// CodeDraining maps to engine.ErrClosed: to a caller, a draining server and
+// a closed engine mean the same thing — take the statement elsewhere.
 func BaseError(code string) error {
 	switch code {
 	case CodeOverloaded:
 		return govern.ErrOverloaded
 	case CodeMemoryBudget:
 		return govern.ErrMemoryBudget
-	case CodeClosed:
+	case CodeClosed, CodeDraining:
 		return engine.ErrClosed
 	case CodeTimeout:
 		return context.DeadlineExceeded
 	default:
 		return nil
 	}
+}
+
+// ReadFrameDeadline reads one frame from conn under staged deadlines: the
+// header read (waiting for the next frame to start) is bounded by idle, the
+// payload read (a frame already in flight) by frame. Zero disables either
+// stage. This is the server's stalled-peer defence — a session that never
+// sends another frame is reaped by idle, one that tears off mid-frame is
+// reaped by frame — without the two very different patience windows
+// collapsing into one knob.
+func ReadFrameDeadline(conn net.Conn, v any, idle, frame time.Duration) error {
+	var hdr [4]byte
+	if idle > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(idle))
+	} else {
+		_ = conn.SetReadDeadline(time.Time{})
+	}
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("wire: read header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	if frame > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(frame))
+	} else {
+		_ = conn.SetReadDeadline(time.Time{})
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return fmt.Errorf("wire: read payload: %w", err)
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return nil
+}
+
+// WriteFrameDeadline writes one frame to conn, bounding the write by frame
+// (zero disables the deadline). A peer that stopped reading eventually
+// fills the kernel buffers; the deadline turns that silent stall into an
+// error the caller can act on.
+func WriteFrameDeadline(conn net.Conn, v any, frame time.Duration) error {
+	if frame > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(frame))
+	} else {
+		_ = conn.SetWriteDeadline(time.Time{})
+	}
+	return WriteFrame(conn, v)
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke debug-smoke overload-smoke serve-smoke fuzz chaos chaos-net check
+.PHONY: all build test race vet bench bench-smoke bench-columnar debug-smoke overload-smoke serve-smoke fuzz chaos chaos-net check
 
 all: build
 
@@ -31,6 +31,15 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Disabled|AtomicLoadBaseline|NilTracer' -benchmem ./internal/metrics/ ./internal/tracing/ ./internal/flightrec/
 	$(GO) test -run '^$$' -bench 'StatementRecorder' -benchmem ./internal/engine/
+
+# Columnar execution smoke: a small rowwise-vs-vectorized sweep through the
+# real jitsbench harness. The sweep itself cross-checks every configuration's
+# result fingerprints and simulated cost against the rowwise serial baseline,
+# so this doubles as a differential proof on real hardware. CI runs this
+# target; for the full before/after numbers see results/ and run
+# `jitsbench -exp columnar -scale 1.0`.
+bench-columnar:
+	$(GO) run ./cmd/jitsbench -exp columnar -scale 0.004 -queries 60 -sample 800
 
 # End-to-end smoke of the embedded debug server: launches jitsbench with
 # -debug-addr on a free port and validates /metrics, /debug/health,

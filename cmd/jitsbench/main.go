@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	jitsbench [-exp all|table2|table3|fig3|fig4|fig5|fig6|oltp|parallel|overload|serve|serve-chaos]
+//	jitsbench [-exp all|table2|table3|fig3|fig4|fig5|fig6|oltp|parallel|columnar|overload|serve|serve-chaos]
 //	          [-scale 0.01] [-queries 840] [-seed 42] [-smax 0.5]
 //	          [-sample 2000] [-csv dir] [-pergroup] [-parallelism 1]
 //	          [-gate 4] [-trace file|-] [-metrics] [-debug-addr host:port]
@@ -30,6 +30,13 @@
 // process-wide metrics registry and prints its Prometheus-style text
 // exposition after the experiments finish. Both are off by default and cost
 // one atomic load per probe when off.
+//
+// The "columnar" experiment sweeps execution mode (rowwise baseline vs
+// vectorized) × storage chunk size (-chunks picks the sizes) × worker count
+// over the same query stream, cross-checking every configuration's results
+// and simulated cost against the rowwise serial baseline, and writes
+// columnar.csv under -csv. It replays the stream once per configuration, so
+// it is wall-clock heavy and excluded from "all"; run it explicitly.
 //
 // The "overload" experiment sweeps client concurrency against a governed
 // engine (admission gate of -gate slots, statement deadlines): it reports
@@ -82,7 +89,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, table2, table3, fig3, fig4, fig5, fig6, oltp, parallel, overload (overload is excluded from all)")
+		exp      = flag.String("exp", "all", "experiment: all, table2, table3, fig3, fig4, fig5, fig6, oltp, parallel, columnar, overload (columnar and overload are excluded from all)")
 		scale    = flag.Float64("scale", 0.01, "dataset scale factor (1.0 = paper sizes)")
 		queries  = flag.Int("queries", 840, "workload query count")
 		seed     = flag.Int64("seed", 42, "random seed")
@@ -103,6 +110,7 @@ func main() {
 		faultsF  = flag.String("net-faults", "", `arm wire fault injection for -serve, e.g. "conn.reset:every=200;conn.latency:every=20,latency=2ms"`)
 		drainF   = flag.Duration("drain", 30*time.Second, "graceful-drain budget for -serve on SIGINT/SIGTERM")
 		everyF   = flag.String("fault-every", "0,29,83", "comma-separated fault periods for -exp serve-chaos (0 = fault-free baseline)")
+		chunksF  = flag.String("chunks", "", "comma-separated vectorized chunk sizes for -exp columnar (default 256,1024,4096,16384; the rowwise baseline always runs first)")
 	)
 	flag.Parse()
 	csvDir = *csvDirF
@@ -206,6 +214,9 @@ func main() {
 	run("fig6", func() error { return fig6(opts) })
 	run("oltp", func() error { return oltp(opts) })
 	run("parallel", func() error { return parallelSpeedup(opts) })
+	if *exp == "columnar" { // opt-in: replays the stream once per config, wall-clock heavy
+		run("columnar", func() error { return columnarSweep(opts, *chunksF) })
+	}
 	if *exp == "overload" { // opt-in: wall-clock heavy, so "all" skips it
 		run("overload", func() error { return overload(opts, *gate) })
 	}
@@ -428,6 +439,51 @@ func parallelSpeedup(opts experiments.Options) error {
 	fmt.Println("\nevery row replays the identical query stream with identical results and")
 	fmt.Println("identical simulated cost; with multiple cores available, wall clock")
 	fmt.Println("shrinks as workers are added, and nothing else changes")
+	return nil
+}
+
+func columnarSweep(opts experiments.Options, chunksSpec string) error {
+	header("Columnar execution: rowwise baseline vs vectorized chunks")
+	fmt.Printf("host: %d CPU(s), GOMAXPROCS=%d\n\n", runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	workers := []int{1, 4}
+	if opts.Parallelism > 1 && opts.Parallelism != 4 {
+		workers = append(workers, opts.Parallelism)
+	}
+	var configs []experiments.ColumnarConfig // nil = the default sweep
+	if chunksSpec != "" {
+		configs = []experiments.ColumnarConfig{{RowOriented: true}}
+		for _, f := range strings.Split(chunksSpec, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad -chunks entry %q", f)
+			}
+			configs = append(configs, experiments.ColumnarConfig{ChunkSize: n})
+		}
+	}
+	rows, err := experiments.ColumnarSweep(opts, configs, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-11s %10s %8s %12s %9s %15s %8s\n",
+		"mode", "chunk", "workers", "wall (s)", "speedup", "simulated (s)", "queries")
+	var csvRows [][]string
+	for _, r := range rows {
+		chunk := "-"
+		if r.Mode == "vectorized" {
+			chunk = strconv.Itoa(r.ChunkSize)
+		}
+		fmt.Printf("%-11s %10s %8d %12.3f %8.2fx %15.4f %8d\n",
+			r.Mode, chunk, r.Workers, r.WallSeconds, r.Speedup, r.SimSeconds, r.Queries)
+		csvRows = append(csvRows, []string{
+			r.Mode, strconv.Itoa(r.ChunkSize), strconv.Itoa(r.Workers),
+			f64(r.WallSeconds), f64(r.Speedup), f64(r.SimSeconds), strconv.Itoa(r.Queries),
+		})
+	}
+	writeCSV("columnar.csv", []string{"mode", "chunk_size", "workers", "wall_s", "speedup", "simulated_s", "queries"}, csvRows)
+	fmt.Println("\nevery configuration replays the identical query stream with identical")
+	fmt.Println("results and identical simulated cost; the vectorized rows should beat the")
+	fmt.Println("rowwise baseline on wall clock, and chunk size trades locality against")
+	fmt.Println("selection-vector overhead")
 	return nil
 }
 

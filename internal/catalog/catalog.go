@@ -170,26 +170,34 @@ func Runstats(tbl *storage.Table, ts int64, opts RunstatsOptions, meter *costmod
 		accs[i] = colAcc{counts: make(map[value.Datum]int64), min: value.Null, max: value.Null}
 	}
 
-	rows := 0
-	tbl.Scan(func(_ int, row []value.Datum) bool {
-		rows++
-		for i, d := range row {
-			a := &accs[i]
-			if d.IsNull() {
-				a.nulls++
-				continue
-			}
-			a.counts[d]++
-			a.coords = append(a.coords, d.Coord())
-			if a.min.IsNull() || d.Compare(a.min) < 0 {
-				a.min = d
-			}
-			if a.max.IsNull() || d.Compare(a.max) > 0 {
-				a.max = d
+	// Accumulate column-major over one snapshot: each column's pass streams
+	// the dense chunk vectors (no per-row materialization), producing the
+	// same per-column end state as the historical row-major scan — coords
+	// append in storage order within each column either way.
+	snap := tbl.Snapshot()
+	rows := snap.NumRows()
+	for c := 0; c < ncols; c++ {
+		a := &accs[c]
+		for ci := 0; ci < snap.NumChunks(); ci++ {
+			ch := snap.Chunk(ci)
+			vec := ch.Col(c)
+			for i := 0; i < ch.Rows(); i++ {
+				d := vec.Datum(i)
+				if d.IsNull() {
+					a.nulls++
+					continue
+				}
+				a.counts[d]++
+				a.coords = append(a.coords, d.Coord())
+				if a.min.IsNull() || d.Compare(a.min) < 0 {
+					a.min = d
+				}
+				if a.max.IsNull() || d.Compare(a.max) > 0 {
+					a.max = d
+				}
 			}
 		}
-		return true
-	})
+	}
 	meter.Add(w.RunstatsRow * float64(rows) * float64(ncols))
 	stats.Cardinality = int64(rows)
 

@@ -1,0 +1,88 @@
+package engine_test
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// TestDifferentialRowwiseVsVectorized replays the paper workload through a
+// row-oriented engine (the legacy executor loops, the benchmark baseline)
+// and a vectorized engine running on deliberately tiny chunks, and requires
+// identical rows, plans and metered work on every query. Together with the
+// serial-vs-parallel differential this pins the whole execution matrix:
+// vectorization, like parallelism, must be invisible to results and to the
+// cost model.
+func TestDifferentialRowwiseVsVectorized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential workload replay is slow")
+	}
+	mkEngine := func(rowOriented bool) (*engine.Engine, *workload.Dataset) {
+		cfg := engine.Config{RowOrientedExec: rowOriented}
+		if !rowOriented {
+			// A tiny chunk size forces every query across many chunk
+			// boundaries, exercising the selection-vector and fused-
+			// aggregation paths where they could diverge.
+			cfg.StorageChunkSize = 64
+		}
+		cfg.JITS.Enabled = true
+		cfg.JITS.SMax = 0.5
+		cfg.JITS.SampleSize = 800
+		cfg.JITS.Seed = 7
+		e := engine.New(cfg)
+		d, err := workload.Load(e, workload.Spec{Scale: 0.004, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, d
+	}
+	rowE, d := mkEngine(true)
+	vecE, _ := mkEngine(false)
+
+	stmts := d.Workload(220, 99, true)
+	queries := 0
+	for i, st := range stmts {
+		rres, rerr := rowE.Exec(st.SQL)
+		vres, verr := vecE.Exec(st.SQL)
+		if (rerr == nil) != (verr == nil) {
+			t.Fatalf("stmt %d %q: rowwise err %v, vectorized err %v", i, st.SQL, rerr, verr)
+		}
+		if rerr != nil {
+			continue
+		}
+		if !st.IsQuery {
+			if rres.RowsAffected != vres.RowsAffected {
+				t.Fatalf("stmt %d %q: rows affected %d vs %d", i, st.SQL, rres.RowsAffected, vres.RowsAffected)
+			}
+			continue
+		}
+		queries++
+		if diff := diffResults(rres, vres); diff != "" {
+			t.Fatalf("query %d %q: %s", i, st.SQL, diff)
+		}
+		if rp, vp := normalizePlan(rres.Plan), normalizePlan(vres.Plan); rp != vp {
+			t.Fatalf("query %d %q: plans diverged\nrowwise:\n%s\nvectorized:\n%s", i, st.SQL, rp, vp)
+		}
+		// The cost model's metered work — and therefore the paper's
+		// simulated timings — must not depend on the execution style.
+		for _, u := range []struct {
+			name string
+			r, v float64
+		}{
+			{"compile", rres.Metrics.CompileUnits, vres.Metrics.CompileUnits},
+			{"exec", rres.Metrics.ExecUnits, vres.Metrics.ExecUnits},
+		} {
+			diff := u.r - u.v
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 1e-6*(1+u.r) {
+				t.Fatalf("query %d %q: %s units %g vs %g", i, st.SQL, u.name, u.r, u.v)
+			}
+		}
+	}
+	if queries < 200 {
+		t.Fatalf("only %d queries compared, want >= 200", queries)
+	}
+}

@@ -101,6 +101,15 @@ type Config struct {
 	// restore bumps the epoch and invalidates every cached plan, so a plan
 	// compiled against pre-update statistics is never reused afterwards.
 	PlanCacheSize int
+	// RowOrientedExec forces the executor's legacy row-at-a-time scan and
+	// aggregation paths instead of the vectorized chunk kernels. Results
+	// and metered work are identical; only wall-clock differs. It exists
+	// as the benchmark baseline and differential-testing foil.
+	RowOrientedExec bool
+	// StorageChunkSize overrides the rows-per-chunk capacity of the
+	// columnar storage layer for tables created by this engine; 0 keeps
+	// storage.DefaultChunkSize. Benchmarks sweep it.
+	StorageChunkSize int
 }
 
 // ExecOptions tune one Exec call — the per-query session knobs.
@@ -156,6 +165,7 @@ type Engine struct {
 	recorder     *flightrec.Recorder
 	governor     *govern.Governor
 	parallelism  int
+	rowOriented  bool
 	stmtTimeout  time.Duration
 	closed       atomic.Bool
 	// planCache is nil when Config.PlanCacheSize is 0 (cache disabled).
@@ -213,9 +223,11 @@ func New(cfg Config) *Engine {
 		recorder:     recorder,
 		governor:     governor,
 		parallelism:  cfg.Parallelism,
+		rowOriented:  cfg.RowOrientedExec,
 		stmtTimeout:  cfg.StatementTimeout,
 		planCache:    plancache.New(cfg.PlanCacheSize),
 	}
+	e.db.SetChunkSize(cfg.StorageChunkSize)
 	if cfg.ReactiveCorrections {
 		e.reactiveQSS = core.NewArchive(0, 0)
 	}
@@ -743,7 +755,7 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 		if mode == modeExplain {
 			continue
 		}
-		rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Ctx: ctx, Parallelism: dop, Stats: stats, Mem: mem}
+		rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Ctx: ctx, Parallelism: dop, Stats: stats, Mem: mem, RowOriented: e.rowOriented}
 		innerRes, err := executor.Execute(inner, innerPlan, rt)
 		if err != nil {
 			optSpan.End()
@@ -801,7 +813,7 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 	}
 
 	execSpan := e.tracer.Start(ts, tracing.PhaseExecute)
-	rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Ctx: ctx, Parallelism: dop, Stats: stats, Mem: mem}
+	rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Ctx: ctx, Parallelism: dop, Stats: stats, Mem: mem, RowOriented: e.rowOriented}
 	res, err := executor.Execute(blk, plan, rt)
 	if err != nil {
 		execSpan.End()
@@ -923,10 +935,11 @@ func (e *Engine) CollectWorkloadStats(sqls []string) error {
 			if card == 0 {
 				continue
 			}
-			// Exact evaluation by full scan.
+			// Exact evaluation by full scan; snapshot rows are freshly
+			// materialized, so they are retained without copying.
 			rows := make([][]value.Datum, 0, card)
 			tbl.Scan(func(_ int, row []value.Datum) bool {
-				rows = append(rows, append([]value.Datum(nil), row...))
+				rows = append(rows, row)
 				return true
 			})
 			m.Add(e.weights.SeqRow * float64(len(rows)))

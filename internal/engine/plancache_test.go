@@ -289,3 +289,56 @@ func TestPlanCacheConcurrentSharedEntry(t *testing.T) {
 		t.Fatalf("expected mostly hits across 16 concurrent repeats: %+v", st)
 	}
 }
+
+// TestPlanCacheBatchInsertInvalidation pins the batch flavor of DML
+// invalidation: a multi-row INSERT goes through storage.InsertBatch (one
+// version bump for the whole batch) yet still advances the archive epoch by
+// exactly one statement, invalidating cached plans, and the recompiled
+// query sees every batched row.
+func TestPlanCacheBatchInsertInvalidation(t *testing.T) {
+	e := cacheEngine(t)
+	const q = `SELECT c.id FROM car c WHERE c.id >= 888000 AND c.id <= 888004`
+
+	res, err := e.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("canary range already populated: %d rows", len(res.Rows))
+	}
+	if res, err = e.Exec(q); err != nil {
+		t.Fatal(err)
+	}
+	if !res.PlanCacheHit {
+		t.Fatal("repeat before DML should hit")
+	}
+
+	epoch := e.ArchiveEpoch()
+	ins, err := e.Exec(`INSERT INTO car VALUES
+		(888000, 1, 'Toyota', 'Camry', 2001, 9000.0),
+		(888001, 1, 'Toyota', 'Camry', 2002, 9100.0),
+		(888002, 1, 'Honda', 'Civic', 2003, 9200.0),
+		(888003, 1, 'Honda', 'Civic', 2004, 9300.0),
+		(888004, 1, 'Mazda', 'Miata', 2005, 9400.0)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.RowsAffected != 5 {
+		t.Fatalf("batch INSERT affected %d rows, want 5", ins.RowsAffected)
+	}
+	if e.ArchiveEpoch() != epoch+1 {
+		t.Fatalf("batch INSERT moved the epoch %d -> %d, want exactly +1 (one statement, one bump)",
+			epoch, e.ArchiveEpoch())
+	}
+
+	res, err = e.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlanCacheHit {
+		t.Fatal("stale plan reused after batch INSERT")
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("recompiled query saw %d of the 5 batched rows", len(res.Rows))
+	}
+}

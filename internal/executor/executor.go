@@ -63,6 +63,12 @@ type Runtime struct {
 	// wrapped govern.ErrMemoryBudget when the budget is exhausted. Nil (the
 	// default) disables accounting.
 	Mem *govern.Reservation
+	// RowOriented forces the legacy row-at-a-time scan and aggregation paths
+	// instead of the vectorized chunk kernels. Results are identical and the
+	// meter charges are identical; only wall-clock differs. It exists as the
+	// benchmark baseline ("before" mode) and as a differential-testing foil
+	// for the vectorized operators.
+	RowOriented bool
 }
 
 // dop returns the effective degree of parallelism (always >= 1).
@@ -220,11 +226,23 @@ func Execute(blk *qgm.Block, plan optimizer.Node, rt *Runtime) (res *Result, err
 		return nil, cerr
 	}
 	ex := &executor{blk: blk, rt: rt}
-	rel, err := ex.run(plan)
-	if err != nil {
-		return nil, err
+	// Single-table aggregation fuses the scan into the accumulator: chunk
+	// vectors feed group state directly, with no materialized relation in
+	// between. Meter charges are formula-identical to the unfused pipeline.
+	if scan, fusable := plan.(*optimizer.Scan); fusable &&
+		scan.IndexColumn == "" && !rt.RowOriented && blockAggregates(blk) {
+		res, err = ex.runFusedAggScan(scan)
+		if err != nil {
+			return nil, err
+		}
+		res, err = ex.finishFrom(res)
+	} else {
+		rel, rerr := ex.run(plan)
+		if rerr != nil {
+			return nil, rerr
+		}
+		res, err = ex.finish(rel)
 	}
-	res, err = ex.finish(rel)
 	if err != nil {
 		return nil, err
 	}
@@ -306,14 +324,21 @@ func (ex *executor) runScan(n *optimizer.Scan) (*relation, error) {
 		return nil, fmt.Errorf("executor: scanning %s: %w", n.Table, err)
 	}
 	w := ex.rt.Weights
-	width := tbl.Schema().NumColumns()
+	// One snapshot serves the whole scan: all morsels see the same table
+	// image, and no lock is held while operators run.
+	snap := tbl.Snapshot()
+	width := snap.Schema().NumColumns()
 	rel := &relation{
 		offsets: map[int]int{n.Slot: 0},
 		widths:  map[int]int{n.Slot: width},
 		width:   width,
 	}
-	base := float64(tbl.RowCount())
+	base := float64(snap.NumRows())
 	examined := 0.0
+	// The vectorized paths charge the reservation per chunk with exact
+	// column-array sizes as they materialize; the row-oriented and index
+	// paths keep the historical per-row estimate charged at the end.
+	grown := false
 
 	if n.IndexColumn != "" {
 		ix, ok := ex.rt.Indexes.Find(n.Table, n.IndexColumn)
@@ -326,7 +351,7 @@ func (ex *executor) runScan(n *optimizer.Scan) (*relation, error) {
 		}
 		ex.rt.charge(w.IndexProbe)
 		for _, pos := range positions {
-			row, err := tbl.Row(pos)
+			row, err := snap.Row(pos)
 			if err != nil {
 				return nil, err
 			}
@@ -336,19 +361,21 @@ func (ex *executor) runScan(n *optimizer.Scan) (*relation, error) {
 			}
 		}
 		ex.rt.charge(w.IndexRow * examined)
-	} else if ex.rt.dop() > 1 && tbl.RowCount() > ex.rt.morselSize() {
-		rows, exam, err := ex.parallelSeqScan(tbl, n.Preds)
+	} else if ex.rt.dop() > 1 && snap.NumRows() > ex.rt.morselSize() {
+		rows, exam, err := ex.parallelSeqScan(snap, n.Preds)
 		if err != nil {
 			return nil, err
 		}
 		rel.rows, examined = rows, exam
+		grown = !ex.rt.RowOriented
 		ex.rt.charge(w.SeqRow * examined)
-	} else {
-		// Serial scan: honor cancellation every morselSize rows, the same
-		// granularity the parallel path checks at.
+	} else if ex.rt.RowOriented {
+		// Legacy serial scan: decode every row, evaluate Matches row by row.
+		// Cancellation is honored every morselSize rows, the same granularity
+		// the parallel path checks at.
 		checkEvery := ex.rt.morselSize()
 		var scanErr error
-		tbl.Scan(func(_ int, row []value.Datum) bool {
+		snap.Scan(func(_ int, row []value.Datum) bool {
 			if int(examined)%checkEvery == 0 {
 				if scanErr = ex.rt.ctxErr(); scanErr != nil {
 					return false
@@ -356,7 +383,7 @@ func (ex *executor) runScan(n *optimizer.Scan) (*relation, error) {
 			}
 			examined++
 			if matchesAll(n.Preds, row) {
-				rel.rows = append(rel.rows, append([]value.Datum(nil), row...))
+				rel.rows = append(rel.rows, row)
 			}
 			return true
 		})
@@ -364,10 +391,20 @@ func (ex *executor) runScan(n *optimizer.Scan) (*relation, error) {
 		if scanErr != nil {
 			return nil, scanErr
 		}
+	} else {
+		rows, exam, scanErr := ex.serialVectorScan(snap, n.Preds)
+		rel.rows, examined = rows, exam
+		grown = true
+		ex.rt.charge(w.SeqRow * examined)
+		if scanErr != nil {
+			return nil, scanErr
+		}
 	}
 	ex.rt.charge(w.RowOut * float64(len(rel.rows)))
-	if err := ex.rt.growRows(len(rel.rows), rel.width); err != nil {
-		return nil, fmt.Errorf("executor: scan %s output: %w", n.Table, err)
+	if !grown {
+		if err := ex.rt.growRows(len(rel.rows), rel.width); err != nil {
+			return nil, fmt.Errorf("executor: scan %s output: %w", n.Table, err)
+		}
 	}
 
 	if len(n.Preds) > 0 {
@@ -378,6 +415,46 @@ func (ex *executor) runScan(n *optimizer.Scan) (*relation, error) {
 		})
 	}
 	return rel, nil
+}
+
+// serialVectorScan runs the vectorized filter chunk by chunk over the
+// snapshot: build the selection vector on the dense column arrays, then
+// materialize only the surviving rows. The reservation is charged per chunk
+// with the exact bytes of the materialized rows. Cancellation is checked at
+// chunk boundaries.
+func (ex *executor) serialVectorScan(snap *storage.Snapshot, preds []qgm.Predicate) ([][]value.Datum, float64, error) {
+	f := compileFilter(preds, snap.Schema())
+	needBytes := ex.rt.Mem != nil
+	var out [][]value.Datum
+	examined := 0
+	var scanErr error
+	var sel []int
+	snap.Range(0, snap.NumRows(), func(ch *storage.Chunk, _, clo, chi int) bool {
+		if scanErr = ex.rt.ctxErr(); scanErr != nil {
+			return false
+		}
+		examined += chi - clo
+		sel = f.selectRange(ch, clo, chi, sel)
+		if len(sel) == 0 {
+			return true
+		}
+		var bytes int64
+		for _, i := range sel {
+			row := ch.AppendRowTo(make([]value.Datum, 0, ch.NumCols()), i)
+			out = append(out, row)
+			if needBytes {
+				bytes += govern.ExactRowBytes(row)
+			}
+		}
+		if needBytes {
+			if err := ex.rt.grow(bytes); err != nil {
+				scanErr = fmt.Errorf("executor: scan %s output: %w", snap.Name(), err)
+				return false
+			}
+		}
+		return true
+	})
+	return out, float64(examined), scanErr
 }
 
 // indexPositions converts a sargable predicate into an index range scan.
@@ -401,22 +478,14 @@ func indexPositions(ix *index.Index, p qgm.Predicate) ([]int, error) {
 }
 
 // joinKey encodes the join-column values of a row; NULL keys return ok=false
-// (SQL: NULL joins nothing).
+// (SQL: NULL joins nothing). Numerics are normalized so int 5 joins float
+// 5.0. Batch loops use appendJoinKeyTo directly to reuse one buffer.
 func joinKey(row []value.Datum, cols []int) (string, bool) {
-	var sb strings.Builder
-	for _, c := range cols {
-		d := row[c]
-		if d.IsNull() {
-			return "", false
-		}
-		// Normalize numerics so int 5 joins float 5.0.
-		if f, ok := d.AsFloat(); ok {
-			fmt.Fprintf(&sb, "n%v|", f)
-		} else {
-			fmt.Fprintf(&sb, "s%s|", d.Str())
-		}
+	buf, ok := appendJoinKeyTo(make([]byte, 0, 16*len(cols)), row, cols)
+	if !ok {
+		return "", false
 	}
-	return sb.String(), true
+	return string(buf), true
 }
 
 func mergedRelation(left, right *relation) *relation {
@@ -496,20 +565,25 @@ func (ex *executor) runHashJoin(n *optimizer.Join) (*relation, error) {
 		return rel, nil
 	}
 
+	// Serial build and probe compute keys batch-wise into one reused buffer;
+	// only keys actually inserted into the build table allocate.
+	var kb []byte
 	table := make(map[string][]int, len(left.rows))
 	for i, row := range left.rows {
-		if key, ok := joinKey(row, lCols); ok {
+		var ok bool
+		if kb, ok = appendJoinKeyTo(kb[:0], row, lCols); ok {
+			key := string(kb)
 			table[key] = append(table[key], i)
 		}
 	}
 	ex.rt.charge(w.HashBuild * float64(len(left.rows)))
 
 	for _, rrow := range right.rows {
-		key, ok := joinKey(rrow, rCols)
-		if !ok {
+		var ok bool
+		if kb, ok = appendJoinKeyTo(kb[:0], rrow, rCols); !ok {
 			continue
 		}
-		for _, li := range table[key] {
+		for _, li := range table[string(kb)] {
 			rel.rows = append(rel.rows, concatRows(left.rows[li], rrow))
 		}
 	}
@@ -535,7 +609,9 @@ func (ex *executor) runIndexNLJoin(n *optimizer.Join) (*relation, error) {
 		return nil, err
 	}
 	w := ex.rt.Weights
-	width := tbl.Schema().NumColumns()
+	// One snapshot serves every probe into the inner table.
+	snap := tbl.Snapshot()
+	width := snap.Schema().NumColumns()
 	rightRel := &relation{
 		offsets: map[int]int{inner.Slot: 0},
 		widths:  map[int]int{inner.Slot: width},
@@ -563,7 +639,7 @@ func (ex *executor) runIndexNLJoin(n *optimizer.Join) (*relation, error) {
 
 	examined, matched := 0.0, 0.0
 	if ex.rt.dop() > 1 && len(left.rows) > ex.rt.morselSize() {
-		rows, exam, match, err := ex.parallelIndexNLProbe(left, inner, tbl, ix, driving, n.Preds)
+		rows, exam, match, err := ex.parallelIndexNLProbe(left, inner, snap, ix, driving, n.Preds)
 		if err != nil {
 			return nil, err
 		}
@@ -577,7 +653,7 @@ func (ex *executor) runIndexNLJoin(n *optimizer.Join) (*relation, error) {
 				continue
 			}
 			for _, pos := range ix.Lookup(key) {
-				irow, err := tbl.Row(pos)
+				irow, err := snap.Row(pos)
 				if err != nil {
 					return nil, err
 				}
@@ -614,7 +690,7 @@ func (ex *executor) runIndexNLJoin(n *optimizer.Join) (*relation, error) {
 	if len(inner.Preds) > 0 {
 		ex.actuals = append(ex.actuals, ScanActual{
 			Slot: inner.Slot, Table: inner.Table, Alias: inner.Alias,
-			BaseRows: float64(tbl.RowCount()), Examined: examined, Matched: matched,
+			BaseRows: float64(snap.NumRows()), Examined: examined, Matched: matched,
 			Conditioned: true,
 			Trace:       inner.Tr,
 		})
@@ -759,19 +835,21 @@ func (ex *executor) runNestedLoop(n *optimizer.Join) (*relation, error) {
 
 // --- finishing: aggregation, distinct, order, limit, projection ----------
 
-func (ex *executor) finish(rel *relation) (*Result, error) {
-	blk := ex.blk
-	hasAgg := false
+// blockAggregates reports whether the block needs grouped aggregation (the
+// condition finish routes through aggregate, and Execute fuses into scans).
+func blockAggregates(blk *qgm.Block) bool {
 	for _, p := range blk.Projections {
 		if p.Agg != sqlparser.AggNone {
-			hasAgg = true
-			break
+			return true
 		}
 	}
+	return len(blk.GroupBy) > 0
+}
 
+func (ex *executor) finish(rel *relation) (*Result, error) {
 	var res *Result
 	var err error
-	if hasAgg || len(blk.GroupBy) > 0 {
+	if blockAggregates(ex.blk) {
 		res, err = ex.aggregate(rel)
 	} else {
 		res, err = ex.project(rel)
@@ -779,7 +857,13 @@ func (ex *executor) finish(rel *relation) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ex.finishFrom(res)
+}
 
+// finishFrom applies the post-aggregation finishing operators — DISTINCT,
+// ORDER BY, LIMIT — shared by the regular pipeline and the fused agg-scan.
+func (ex *executor) finishFrom(res *Result) (*Result, error) {
+	blk := ex.blk
 	if blk.Distinct {
 		res.Rows = distinctRows(res.Rows)
 	}
@@ -871,12 +955,14 @@ type group struct {
 // groupAccumulator builds grouped aggregation state row by row. The serial
 // path runs one accumulator over the whole input; the parallel path runs one
 // per morsel and merges them in morsel order, which preserves the serial
-// first-appearance group order.
+// first-appearance group order. The fused agg-scan absorbs selected chunk
+// rows directly (absorbChunk) without materializing the relation.
 type groupAccumulator struct {
 	blk    *qgm.Block
 	rel    *relation
 	groups map[string]*group
 	order  []string // deterministic group order = first appearance
+	keyBuf []byte   // reused group-key encoding scratch
 }
 
 func newGroupAccumulator(blk *qgm.Block, rel *relation) *groupAccumulator {
@@ -893,16 +979,32 @@ func (ga *groupAccumulator) newGroup(keys []value.Datum) *group {
 }
 
 func (ga *groupAccumulator) absorbRow(row []value.Datum) {
-	var kb strings.Builder
+	ga.absorb(func(col int) value.Datum { return row[col] })
+}
+
+// absorbChunk folds the selected rows of one columnar chunk into the
+// accumulator, reading datums straight off the column vectors — the fused
+// agg-scan's row source, skipping row materialization entirely.
+func (ga *groupAccumulator) absorbChunk(ch *storage.Chunk, sel []int) {
+	for _, i := range sel {
+		ga.absorb(func(col int) value.Datum { return ch.DatumAt(i, col) })
+	}
+}
+
+// absorb is the single row-state transition both row sources share, so the
+// fused and materialized paths cannot drift apart.
+func (ga *groupAccumulator) absorb(get func(col int) value.Datum) {
+	kb := ga.keyBuf[:0]
 	keys := make([]value.Datum, len(ga.blk.GroupBy))
 	for i, gk := range ga.blk.GroupBy {
-		d := row[ga.rel.col(gk.Slot, gk.Ordinal)]
+		d := get(ga.rel.col(gk.Slot, gk.Ordinal))
 		keys[i] = d
-		fmt.Fprintf(&kb, "%s|", d)
+		kb = appendGroupKeyDatum(kb, d)
 	}
-	key := kb.String()
-	g, ok := ga.groups[key]
+	ga.keyBuf = kb
+	g, ok := ga.groups[string(kb)]
 	if !ok {
+		key := string(kb)
 		g = ga.newGroup(keys)
 		ga.groups[key] = g
 		ga.order = append(ga.order, key)
@@ -913,7 +1015,7 @@ func (ga *groupAccumulator) absorbRow(row []value.Datum) {
 		if p.Agg == sqlparser.AggNone || p.Star {
 			continue
 		}
-		d := row[ga.rel.col(p.Slot, p.Ordinal)]
+		d := get(ga.rel.col(p.Slot, p.Ordinal))
 		if d.IsNull() {
 			continue
 		}
@@ -957,10 +1059,6 @@ func (ga *groupAccumulator) mergeFrom(other *groupAccumulator) {
 }
 
 func (ex *executor) aggregate(rel *relation) (*Result, error) {
-	blk := ex.blk
-	w := ex.rt.Weights
-
-	nAgg := len(blk.Projections)
 	var ga *groupAccumulator
 	if ex.rt.dop() > 1 && len(rel.rows) > ex.rt.morselSize() {
 		var err error
@@ -969,13 +1067,25 @@ func (ex *executor) aggregate(rel *relation) (*Result, error) {
 			return nil, err
 		}
 	} else {
-		ga = newGroupAccumulator(blk, rel)
+		ga = newGroupAccumulator(ex.blk, rel)
 		for _, row := range rel.rows {
 			ga.absorbRow(row)
 		}
 	}
+	return ex.aggregateFinish(ga, len(rel.rows))
+}
+
+// aggregateFinish turns accumulated group state into the result rows,
+// charging the same meter and reservation costs whether the state came from
+// a materialized relation or the fused agg-scan (inputRows is the absorbed
+// row count either way, so the charge formulas are identical).
+func (ex *executor) aggregateFinish(ga *groupAccumulator, inputRows int) (*Result, error) {
+	blk := ex.blk
+	w := ex.rt.Weights
+
+	nAgg := len(blk.Projections)
 	groups, orderKeys := ga.groups, ga.order
-	ex.rt.charge(w.HashBuild * float64(len(rel.rows)))
+	ex.rt.charge(w.HashBuild * float64(inputRows))
 	// Aggregation state is charged after accumulation (operator-boundary
 	// enforcement: growth past the budget is bounded to this operator's
 	// grouped state, which is what the statement materializes from here on).
@@ -1052,14 +1162,14 @@ func (ex *executor) aggregate(rel *relation) (*Result, error) {
 func distinctRows(rows [][]value.Datum) [][]value.Datum {
 	seen := make(map[string]bool, len(rows))
 	out := rows[:0]
+	var kb []byte
 	for _, r := range rows {
-		var kb strings.Builder
+		kb = kb[:0]
 		for _, d := range r {
-			fmt.Fprintf(&kb, "%s|", d)
+			kb = appendGroupKeyDatum(kb, d)
 		}
-		k := kb.String()
-		if !seen[k] {
-			seen[k] = true
+		if !seen[string(kb)] {
+			seen[string(kb)] = true
 			out = append(out, r)
 		}
 	}

@@ -1,0 +1,148 @@
+// Fused scan→aggregate. When a block is a single-table grouped aggregation
+// (no join, no index access path), the executor skips materializing the
+// filtered relation entirely: each chunk's selection vector feeds the group
+// accumulator straight from the column arrays. The meter charges are
+// formula-identical to the unfused scan-then-aggregate pipeline —
+// SeqRow·examined + RowOut·matched at the scan, HashBuild·matched plus the
+// group-state reservation at the aggregate — so EXPLAIN ANALYZE actuals,
+// metered totals and the serial-vs-parallel differential all stay
+// byte-identical to the pre-fusion engine; only the intermediate row
+// buffer (and its wall-clock and memory cost) disappears.
+package executor
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/optimizer"
+	"repro/internal/storage"
+)
+
+// runFusedAggScan executes a single-table aggregation block by absorbing
+// matching chunk rows directly into group state. It records the same
+// NodeStats the unfused scan node would (rows = matched, units = the
+// scan-attributed charges) and the same ScanActual feedback.
+func (ex *executor) runFusedAggScan(n *optimizer.Scan) (*Result, error) {
+	if err := ex.rt.ctxErr(); err != nil {
+		return nil, err
+	}
+	tbl, err := ex.baseTable(n.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := faultinject.Hit(faultinject.StorageScan); err != nil {
+		return nil, fmt.Errorf("executor: scanning %s: %w", n.Table, err)
+	}
+	w := ex.rt.Weights
+	var before float64
+	var start time.Time
+	if ex.rt.Stats != nil {
+		if ex.rt.Meter != nil {
+			before = ex.rt.Meter.Units()
+		}
+		start = time.Now()
+	}
+
+	snap := tbl.Snapshot()
+	width := snap.Schema().NumColumns()
+	// A pseudo-relation carries the slot→offset mapping the accumulator
+	// resolves columns through; it never holds rows.
+	rel := &relation{
+		offsets: map[int]int{n.Slot: 0},
+		widths:  map[int]int{n.Slot: width},
+		width:   width,
+	}
+	f := compileFilter(n.Preds, snap.Schema())
+
+	var ga *groupAccumulator
+	var examined, matched int64
+	if ex.rt.dop() > 1 && snap.NumRows() > ex.rt.morselSize() {
+		ga, examined, matched, err = ex.parallelFusedAgg(snap, rel, f)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		ga = newGroupAccumulator(ex.blk, rel)
+		var sel []int
+		var scanErr error
+		snap.Range(0, snap.NumRows(), func(ch *storage.Chunk, _, clo, chi int) bool {
+			if scanErr = ex.rt.ctxErr(); scanErr != nil {
+				return false
+			}
+			examined += int64(chi - clo)
+			sel = f.selectRange(ch, clo, chi, sel)
+			matched += int64(len(sel))
+			ga.absorbChunk(ch, sel)
+			return true
+		})
+		if scanErr != nil {
+			return nil, scanErr
+		}
+	}
+
+	ex.rt.charge(w.SeqRow * float64(examined))
+	ex.rt.charge(w.RowOut * float64(matched))
+	if st := ex.rt.Stats; st != nil {
+		after := before
+		if ex.rt.Meter != nil {
+			after = ex.rt.Meter.Units()
+		}
+		st.nodes[n] = NodeStats{
+			Rows:  float64(matched),
+			Units: after - before,
+			Wall:  time.Since(start),
+		}
+	}
+	if len(n.Preds) > 0 {
+		ex.actuals = append(ex.actuals, ScanActual{
+			Slot: n.Slot, Table: n.Table, Alias: n.Alias,
+			BaseRows: float64(snap.NumRows()), Examined: float64(examined), Matched: float64(matched),
+			Trace: n.Tr,
+		})
+	}
+	return ex.aggregateFinish(ga, int(matched))
+}
+
+// parallelFusedAgg fans the fused scan over morsels: each worker filters
+// its chunk sub-ranges and absorbs survivors into a per-morsel partial
+// accumulator; partials merge in morsel order, preserving the serial
+// first-appearance group order (float SUM/AVG may round differently, as
+// with the unfused parallel aggregate).
+func (ex *executor) parallelFusedAgg(snap *storage.Snapshot, rel *relation, f *chunkFilter) (*groupAccumulator, int64, int64, error) {
+	sz := ex.rt.morselSize()
+	n := snap.NumRows()
+	partials := make([]*groupAccumulator, morselCount(n, sz))
+	var examined, matched atomic.Int64
+	err := runMorsels(ex.rt.ctx(), n, ex.rt.dop(), sz, func(m, lo, hi int) error {
+		if err := faultinject.Hit(faultinject.StorageScan); err != nil {
+			return err
+		}
+		ga := newGroupAccumulator(ex.blk, rel)
+		var sel []int
+		cnt, match := 0, 0
+		snap.Range(lo, hi, func(ch *storage.Chunk, _, clo, chi int) bool {
+			cnt += chi - clo
+			sel = f.selectRange(ch, clo, chi, sel)
+			match += len(sel)
+			ga.absorbChunk(ch, sel)
+			return true
+		})
+		partials[m] = ga
+		examined.Add(int64(cnt))
+		matched.Add(int64(match))
+		return nil
+	})
+	if err != nil {
+		return nil, examined.Load(), matched.Load(), err
+	}
+	if len(partials) == 0 {
+		return newGroupAccumulator(ex.blk, rel), 0, 0, nil
+	}
+	out := partials[0]
+	for _, p := range partials[1:] {
+		out.mergeFrom(p)
+	}
+	return out, examined.Load(), matched.Load(), nil
+}

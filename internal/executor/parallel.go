@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/faultinject"
+	"repro/internal/govern"
 	"repro/internal/index"
 	"repro/internal/optimizer"
 	"repro/internal/qgm"
@@ -140,28 +141,63 @@ func concatBuckets(buckets [][][]value.Datum) [][]value.Datum {
 	return out
 }
 
-// parallelSeqScan scans the table in morsels across the worker pool,
+// parallelSeqScan scans the snapshot in morsels across the worker pool,
 // returning the filtered rows in storage order plus the examined row count.
-// Each morsel probes the storage.scan fault point, so an injected page-read
-// error surfaces from any worker and drains the pool.
-func (ex *executor) parallelSeqScan(tbl *storage.Table, preds []qgm.Predicate) ([][]value.Datum, float64, error) {
+// All morsels share one snapshot, so workers see a consistent table image
+// without taking any lock. Each morsel probes the storage.scan fault point,
+// so an injected page-read error surfaces from any worker and drains the
+// pool. The default vectorized mode maps each morsel onto chunk sub-ranges
+// and runs the compiled filter on the column arrays, charging the
+// reservation exact per-morsel output bytes (the total is dop-invariant:
+// it is the sum over matched rows either way); Runtime.RowOriented selects
+// the legacy row-at-a-time evaluation with the estimate-based charge left
+// to the caller.
+func (ex *executor) parallelSeqScan(snap *storage.Snapshot, preds []qgm.Predicate) ([][]value.Datum, float64, error) {
 	sz := ex.rt.morselSize()
-	n := tbl.RowCount()
+	n := snap.NumRows()
 	buckets := make([][][]value.Datum, morselCount(n, sz))
 	var examined atomic.Int64
+	rowWise := ex.rt.RowOriented
+	var f *chunkFilter
+	if !rowWise {
+		f = compileFilter(preds, snap.Schema())
+	}
+	needBytes := !rowWise && ex.rt.Mem != nil
 	err := runMorsels(ex.rt.ctx(), n, ex.rt.dop(), sz, func(m, lo, hi int) error {
 		if err := faultinject.Hit(faultinject.StorageScan); err != nil {
 			return err
 		}
 		var out [][]value.Datum
 		cnt := 0
-		tbl.ScanRange(lo, hi, func(_ int, row []value.Datum) bool {
-			cnt++
-			if matchesAll(preds, row) {
-				out = append(out, append([]value.Datum(nil), row...))
+		if rowWise {
+			snap.ScanRange(lo, hi, func(_ int, row []value.Datum) bool {
+				cnt++
+				if matchesAll(preds, row) {
+					out = append(out, row)
+				}
+				return true
+			})
+		} else {
+			var sel []int
+			var bytes int64
+			snap.Range(lo, hi, func(ch *storage.Chunk, _, clo, chi int) bool {
+				cnt += chi - clo
+				sel = f.selectRange(ch, clo, chi, sel)
+				for _, i := range sel {
+					row := ch.AppendRowTo(make([]value.Datum, 0, ch.NumCols()), i)
+					out = append(out, row)
+					if needBytes {
+						bytes += govern.ExactRowBytes(row)
+					}
+				}
+				return true
+			})
+			if needBytes {
+				if err := ex.rt.grow(bytes); err != nil {
+					return fmt.Errorf("executor: scan %s output: %w", snap.Name(), err)
+				}
 			}
-			return true
-		})
+		}
 		buckets[m] = out
 		examined.Add(int64(cnt))
 		return nil
@@ -177,6 +213,17 @@ func fnv1a(s string) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(s); i++ {
 		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// fnv1aBytes is fnv1a over a byte slice (probe-side keys are built in a
+// reused buffer and never converted to string unless they match).
+func fnv1aBytes(b []byte) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(b); i++ {
+		h ^= uint32(b[i])
 		h *= 16777619
 	}
 	return h
@@ -198,8 +245,11 @@ func (ex *executor) parallelHashJoin(left, right, rel *relation, lCols, rCols []
 	lPart := make([]uint32, nL)
 	const noPart = ^uint32(0) // NULL key: joins nothing
 	if err := runMorsels(ex.rt.ctx(), nL, dop, sz, func(_, lo, hi int) error {
+		var kb []byte
 		for i := lo; i < hi; i++ {
-			if key, ok := joinKey(left.rows[i], lCols); ok {
+			var ok bool
+			if kb, ok = appendJoinKeyTo(kb[:0], left.rows[i], lCols); ok {
+				key := string(kb)
 				lKeys[i] = key
 				lPart[i] = fnv1a(key) % uint32(dop)
 			} else {
@@ -241,13 +291,14 @@ func (ex *executor) parallelHashJoin(left, right, rel *relation, lCols, rCols []
 	buckets := make([][][]value.Datum, morselCount(nR, sz))
 	if err := runMorsels(ex.rt.ctx(), nR, dop, sz, func(m, lo, hi int) error {
 		var out [][]value.Datum
+		var kb []byte
 		for ri := lo; ri < hi; ri++ {
 			rrow := right.rows[ri]
-			key, ok := joinKey(rrow, rCols)
-			if !ok {
+			var ok bool
+			if kb, ok = appendJoinKeyTo(kb[:0], rrow, rCols); !ok {
 				continue
 			}
-			for _, li := range parts[fnv1a(key)%uint32(dop)][key] {
+			for _, li := range parts[fnv1aBytes(kb)%uint32(dop)][string(kb)] {
 				out = append(out, concatRows(left.rows[li], rrow))
 			}
 		}
@@ -352,12 +403,11 @@ func mergeRuns(dst, src [][]value.Datum, lo, mid, hi int, less func(a, b []value
 }
 
 // parallelIndexNLProbe fans the index nested-loop probe over left-row
-// morsels. The index and inner table are read-only for the duration of the
-// statement (the engine serializes DML against queries), so workers probe
-// concurrently; per-morsel buffers keep the output in left-row order, same
-// as the serial loop. Returns the joined rows plus the examined and matched
-// counts for the feedback actuals.
-func (ex *executor) parallelIndexNLProbe(left *relation, inner *optimizer.Scan, tbl *storage.Table, ix *index.Index, driving *qgm.JoinPredicate, preds []qgm.JoinPredicate) ([][]value.Datum, float64, float64, error) {
+// morsels. Workers probe one shared snapshot of the inner table, so they
+// read a consistent image lock-free; per-morsel buffers keep the output in
+// left-row order, same as the serial loop. Returns the joined rows plus the
+// examined and matched counts for the feedback actuals.
+func (ex *executor) parallelIndexNLProbe(left *relation, inner *optimizer.Scan, snap *storage.Snapshot, ix *index.Index, driving *qgm.JoinPredicate, preds []qgm.JoinPredicate) ([][]value.Datum, float64, float64, error) {
 	sz := ex.rt.morselSize()
 	n := len(left.rows)
 	buckets := make([][][]value.Datum, morselCount(n, sz))
@@ -372,7 +422,7 @@ func (ex *executor) parallelIndexNLProbe(left *relation, inner *optimizer.Scan, 
 				continue
 			}
 			for _, pos := range ix.Lookup(key) {
-				irow, err := tbl.Row(pos)
+				irow, err := snap.Row(pos)
 				if err != nil {
 					return err
 				}

@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// TestColumnarQuick runs a small sweep — rowwise baseline vs vectorized at
+// a tiny and a default chunk size, serial and dop 2 — relying on the
+// sweep's built-in fingerprint and simulated-cost cross-checks to fail on
+// any divergence.
+func TestColumnarQuick(t *testing.T) {
+	opts := QuickOptions()
+	opts.Queries = 60
+	configs := []ColumnarConfig{
+		{RowOriented: true},
+		{ChunkSize: 64},
+		{ChunkSize: 4096},
+	}
+	rows, err := ColumnarSweep(opts, configs, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	if rows[0].Mode != "rowwise" || rows[0].Workers != 1 || rows[0].Speedup != 1 {
+		t.Fatalf("baseline row malformed: %+v", rows[0])
+	}
+	for _, r := range rows {
+		if r.Queries != 60 {
+			t.Errorf("%s/%d dop %d ran %d queries, want 60", r.Mode, r.ChunkSize, r.Workers, r.Queries)
+		}
+		if r.SimSeconds <= 0 || r.WallSeconds <= 0 {
+			t.Errorf("%s/%d dop %d has non-positive timings: %+v", r.Mode, r.ChunkSize, r.Workers, r)
+		}
+	}
+	// A baseline in the wrong position must be rejected.
+	if _, err := ColumnarSweep(opts, []ColumnarConfig{{ChunkSize: 64}}, nil); err == nil {
+		t.Error("sweep without a rowwise/dop-1 baseline must fail")
+	}
+}

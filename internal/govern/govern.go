@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/value"
 )
 
 // ErrMemoryBudget is returned (wrapped) when a reservation cannot grow
@@ -378,6 +379,28 @@ func EstimateRowBytes(cols int) int64 {
 		cols = 0
 	}
 	return 48 + 40*int64(cols)
+}
+
+// datumBytes is the accounted in-memory size of one value.Datum struct:
+// kind tag + int64 + float64 + string header, padded.
+const datumBytes = 40
+
+// ExactRowBytes is the exact accounting cost of one materialized row:
+// slice header, per-column datum structs, and string payload bytes. The
+// columnar scan charges reservations per chunk with this (summed over the
+// chunk's output batch), replacing the per-row EstimateRowBytes guess with
+// what the batch really costs — string-heavy rows are no longer
+// under-counted, narrow integer rows no longer over-counted. Pre-sized
+// reservations made before the data is visible (e.g. sampling buffers)
+// still use EstimateRowBytes.
+func ExactRowBytes(row []value.Datum) int64 {
+	b := int64(24) + datumBytes*int64(len(row))
+	for _, d := range row {
+		if d.Kind() == value.KindString {
+			b += int64(len(d.Str()))
+		}
+	}
+	return b
 }
 
 func wrapBudget(detail string) error {

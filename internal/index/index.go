@@ -69,15 +69,25 @@ func (ix *Index) Rebuilds() int {
 
 // ensure rebuilds the sorted entries if the table changed. Caller must hold mu.
 func (ix *Index) ensure() {
-	v := ix.table.Version()
-	if ix.built && v == ix.builtVersion {
+	// Version and rows come from one snapshot, so the recorded builtVersion
+	// always matches the data actually indexed (reading Version() and then
+	// scanning separately could attribute a newer version to older rows).
+	snap := ix.table.Snapshot()
+	if ix.built && snap.Version() == ix.builtVersion {
 		return
 	}
 	ix.entries = ix.entries[:0]
-	ix.table.Scan(func(rowIdx int, row []value.Datum) bool {
-		ix.entries = append(ix.entries, entry{key: row[ix.ordinal], row: rowIdx})
-		return true
-	})
+	// Stream the indexed column's chunk vectors directly — the rebuild
+	// touches one column array, not materialized rows.
+	base := 0
+	for ci := 0; ci < snap.NumChunks(); ci++ {
+		ch := snap.Chunk(ci)
+		vec := ch.Col(ix.ordinal)
+		for i := 0; i < ch.Rows(); i++ {
+			ix.entries = append(ix.entries, entry{key: vec.Datum(i), row: base + i})
+		}
+		base += ch.Rows()
+	}
 	sort.SliceStable(ix.entries, func(i, j int) bool {
 		c := ix.entries[i].key.Compare(ix.entries[j].key)
 		if c != 0 {
@@ -85,7 +95,7 @@ func (ix *Index) ensure() {
 		}
 		return ix.entries[i].row < ix.entries[j].row
 	})
-	ix.builtVersion = v
+	ix.builtVersion = snap.Version()
 	ix.built = true
 	ix.rebuilds++
 }

@@ -270,3 +270,56 @@ func BenchmarkLookup10k(b *testing.B) {
 		_ = ix.Lookup(value.NewInt(int64(i % 500)))
 	}
 }
+
+// Regression for the normalized version semantics: InsertBatch bumps the
+// table version once per batch (a staleness token, not a row count). The
+// index compares versions for inequality only, so one batch bump must be
+// enough to trigger exactly one rebuild that sees every new row.
+func TestBatchInsertTriggersStalenessRebuild(t *testing.T) {
+	tbl := intTable(t, 1, 2, 3)
+	ix, err := New("ix", tbl, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Lookup(value.NewInt(2)); len(got) != 1 {
+		t.Fatalf("Lookup(2) = %v, want 1 row", got)
+	}
+	builds := ix.Rebuilds()
+
+	batch := make([][]value.Datum, 10)
+	for i := range batch {
+		batch[i] = []value.Datum{value.NewInt(int64(100 + i)), value.NewString("p")}
+	}
+	if err := tbl.InsertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every batched row must be visible through the index...
+	for i := 0; i < 10; i++ {
+		rows := ix.Lookup(value.NewInt(int64(100 + i)))
+		if len(rows) != 1 {
+			t.Fatalf("Lookup(%d) after batch = %v, want 1 row", 100+i, rows)
+		}
+		row, err := tbl.Row(rows[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row[0].Int() != int64(100+i) {
+			t.Fatalf("Lookup(%d) returned row with key %d", 100+i, row[0].Int())
+		}
+	}
+	// ...paid for by exactly one rebuild, because the whole batch advanced
+	// the version once.
+	if got := ix.Rebuilds(); got != builds+1 {
+		t.Fatalf("Rebuilds = %d after batch, want %d (one rebuild per staleness bump)", got, builds+1)
+	}
+	if ix.Len() != 13 {
+		t.Fatalf("Len = %d, want 13", ix.Len())
+	}
+
+	// A clean (no-DML) re-lookup must not rebuild again.
+	ix.Lookup(value.NewInt(1))
+	if got := ix.Rebuilds(); got != builds+1 {
+		t.Fatalf("Rebuilds = %d after clean lookup, want %d", got, builds+1)
+	}
+}

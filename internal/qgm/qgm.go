@@ -104,7 +104,15 @@ func (p Predicate) String() string {
 // Matches evaluates the predicate against a row of the instance's table.
 // Comparisons with NULL are false, per SQL.
 func (p Predicate) Matches(row []value.Datum) bool {
-	d := row[p.Ordinal]
+	return p.MatchesDatum(row[p.Ordinal])
+}
+
+// MatchesDatum evaluates the predicate against the value of its column —
+// the scalar kernel the executor's vectorized filter calls per row when no
+// typed fast path applies. Matches and MatchesDatum are the single source
+// of truth for predicate semantics; any specialized loop must agree with
+// them exactly.
+func (p Predicate) MatchesDatum(d value.Datum) bool {
 	if d.IsNull() {
 		return false
 	}

@@ -153,20 +153,26 @@ func (s *Sampler) Sample(ctx context.Context, tbl *storage.Table, size int, mete
 // RowsParallel is Rows with the row fetches fanned out across up to dop
 // workers. The pseudo-random pick positions are still drawn serially from
 // the sampler's rng — the drawn sample, its order, and the meter charge are
-// identical to Rows at any dop; only the copying parallelizes.
+// identical to Rows at any dop; only the copying parallelizes. All fetches
+// go through one table snapshot: workers read the same consistent image
+// lock-free, every sampled row is freshly materialized (never an aliased
+// window into live storage), and concurrent DML cannot shrink the table out
+// from under a drawn position.
 func (s *Sampler) RowsParallel(tbl *storage.Table, size int, meter *costmodel.Meter, w costmodel.Weights, dop int) [][]value.Datum {
-	n := tbl.RowCount()
+	snap := tbl.Snapshot()
+	n := snap.NumRows()
 	if n == 0 || size <= 0 {
 		return nil
 	}
 	if EffectiveSampleRows(n, size) == n {
-		// Copy the table whole, morsel-parallel in storage order.
+		// Copy the table whole, morsel-parallel in storage order. Rows come
+		// straight off the snapshot's column arrays.
 		chunks := (n + evalMorselSize - 1) / evalMorselSize
 		buckets := make([][][]value.Datum, chunks)
 		forEachChunk(n, dop, evalMorselSize, func(lo, hi int) {
-			var rows [][]value.Datum
-			tbl.ScanRange(lo, hi, func(_ int, row []value.Datum) bool {
-				rows = append(rows, append([]value.Datum(nil), row...))
+			rows := make([][]value.Datum, 0, hi-lo)
+			snap.ScanRange(lo, hi, func(_ int, row []value.Datum) bool {
+				rows = append(rows, row)
 				return true
 			})
 			buckets[lo/evalMorselSize] = rows
@@ -188,22 +194,14 @@ func (s *Sampler) RowsParallel(tbl *storage.Table, size int, meter *costmodel.Me
 		picked[idx] = true
 		positions = append(positions, idx)
 	}
-	slots := make([][]value.Datum, len(positions))
+	out := make([][]value.Datum, len(positions))
 	forEachChunk(len(positions), dop, evalMorselSize, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			row, err := tbl.Row(positions[i])
-			if err != nil {
-				continue // concurrent shrink; skip
-			}
-			slots[i] = row
+			// Positions were drawn against the snapshot's row count, so the
+			// fetch cannot fail.
+			out[i], _ = snap.Row(positions[i])
 		}
 	})
-	out := make([][]value.Datum, 0, len(slots))
-	for _, row := range slots {
-		if row != nil {
-			out = append(out, row)
-		}
-	}
 	meter.Add(w.SampleRow * float64(len(out)))
 	return out
 }

@@ -1,0 +1,291 @@
+// Columnar chunk layout. A table's rows are stored as a sequence of
+// fixed-capacity chunks; within a chunk each column is one typed Go slice
+// ([]int64, []float64 or []string) plus a null bitmap, so scans and
+// vectorized operators touch dense arrays instead of [][]value.Datum rows.
+// The design follows the fixed-width chunk-file idea the roadmap cites
+// (zchunkedrows): row i lives at chunk i/chunkSize, offset i%chunkSize,
+// because every chunk except the last is always exactly full — inserts
+// append to the tail chunk and deletes swap the globally last row into the
+// hole, so only the tail chunk ever has a partial row count.
+package storage
+
+import (
+	"sync/atomic"
+
+	"repro/internal/value"
+)
+
+// DefaultChunkSize is the number of rows per columnar chunk. Large enough
+// that per-chunk overhead (snapshot pointer copies, per-chunk reservation
+// charges) is noise, small enough that a chunk's column arrays stay cache-
+// and allocator-friendly and copy-on-write clones stay cheap.
+const DefaultChunkSize = 4096
+
+// ColumnVec is one column of one chunk: a dense typed array with a null
+// bitmap. Exactly one of the typed slices is populated, selected by the
+// column's schema kind; NULL rows keep a zero placeholder in the typed
+// slice and set their bitmap bit.
+//
+// The typed accessors (Ints, Floats, Strs) expose the backing arrays
+// directly so vectorized operators can loop over them without per-row
+// decoding. Vectors reached through a Snapshot are immutable — callers
+// must treat the returned slices as read-only.
+type ColumnVec struct {
+	kind   value.Kind
+	ints   []int64
+	floats []float64
+	strs   []string
+	nulls  []uint64 // bit i set ⇒ row i is NULL
+}
+
+func newColumnVec(kind value.Kind, capacity int) ColumnVec {
+	v := ColumnVec{kind: kind, nulls: make([]uint64, (capacity+63)/64)}
+	switch kind {
+	case value.KindInt:
+		v.ints = make([]int64, 0, capacity)
+	case value.KindFloat:
+		v.floats = make([]float64, 0, capacity)
+	default: // KindString, and any future kind, stores through the string array
+		v.strs = make([]string, 0, capacity)
+	}
+	return v
+}
+
+// Kind returns the column's schema kind.
+func (v *ColumnVec) Kind() value.Kind { return v.kind }
+
+// Len returns the number of rows in the vector.
+func (v *ColumnVec) Len() int {
+	switch v.kind {
+	case value.KindInt:
+		return len(v.ints)
+	case value.KindFloat:
+		return len(v.floats)
+	default:
+		return len(v.strs)
+	}
+}
+
+// Ints returns the dense int64 array; valid only when Kind is KindInt.
+// Read-only for snapshot readers.
+func (v *ColumnVec) Ints() []int64 { return v.ints }
+
+// Floats returns the dense float64 array; valid only when Kind is KindFloat.
+// Read-only for snapshot readers.
+func (v *ColumnVec) Floats() []float64 { return v.floats }
+
+// Strs returns the dense string array; valid only when Kind is KindString.
+// Read-only for snapshot readers.
+func (v *ColumnVec) Strs() []string { return v.strs }
+
+// Null reports whether row i is NULL.
+func (v *ColumnVec) Null(i int) bool {
+	return v.nulls[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// HasNulls reports whether any row in the vector is NULL; vectorized
+// predicate loops skip the bitmap test entirely when it is false.
+func (v *ColumnVec) HasNulls() bool {
+	for _, w := range v.nulls {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Datum decodes row i into a value.Datum (no allocation: Datum is a value).
+func (v *ColumnVec) Datum(i int) value.Datum {
+	if v.Null(i) {
+		return value.Null
+	}
+	switch v.kind {
+	case value.KindInt:
+		return value.NewInt(v.ints[i])
+	case value.KindFloat:
+		return value.NewFloat(v.floats[i])
+	default:
+		return value.NewString(v.strs[i])
+	}
+}
+
+// SizeBytes returns the exact accounted size of the vector's column arrays:
+// the typed array, string payloads, and the null bitmap. This is the number
+// chunk-level reservations charge in place of per-row estimates.
+func (v *ColumnVec) SizeBytes() int64 {
+	b := int64(len(v.nulls)) * 8
+	switch v.kind {
+	case value.KindInt:
+		b += int64(len(v.ints)) * 8
+	case value.KindFloat:
+		b += int64(len(v.floats)) * 8
+	default:
+		b += int64(len(v.strs)) * 16
+		for _, s := range v.strs {
+			b += int64(len(s))
+		}
+	}
+	return b
+}
+
+func (v *ColumnVec) append(d value.Datum) {
+	i := v.Len()
+	if w := i >> 6; w >= len(v.nulls) {
+		v.nulls = append(v.nulls, 0)
+	}
+	if d.IsNull() {
+		v.nulls[i>>6] |= 1 << (uint(i) & 63)
+		switch v.kind {
+		case value.KindInt:
+			v.ints = append(v.ints, 0)
+		case value.KindFloat:
+			v.floats = append(v.floats, 0)
+		default:
+			v.strs = append(v.strs, "")
+		}
+		return
+	}
+	switch v.kind {
+	case value.KindInt:
+		v.ints = append(v.ints, d.Int())
+	case value.KindFloat:
+		v.floats = append(v.floats, d.Float())
+	default:
+		v.strs = append(v.strs, d.Str())
+	}
+}
+
+func (v *ColumnVec) set(i int, d value.Datum) {
+	mask := uint64(1) << (uint(i) & 63)
+	if d.IsNull() {
+		v.nulls[i>>6] |= mask
+		switch v.kind {
+		case value.KindInt:
+			v.ints[i] = 0
+		case value.KindFloat:
+			v.floats[i] = 0
+		default:
+			v.strs[i] = ""
+		}
+		return
+	}
+	v.nulls[i>>6] &^= mask
+	switch v.kind {
+	case value.KindInt:
+		v.ints[i] = d.Int()
+	case value.KindFloat:
+		v.floats[i] = d.Float()
+	default:
+		v.strs[i] = d.Str()
+	}
+}
+
+func (v *ColumnVec) truncate(n int) {
+	switch v.kind {
+	case value.KindInt:
+		v.ints = v.ints[:n]
+	case value.KindFloat:
+		v.floats = v.floats[:n]
+	default:
+		v.strs = v.strs[:n]
+	}
+	// Clear bitmap bits past n so a future append at n starts clean.
+	for i := n; i < len(v.nulls)*64; i++ {
+		v.nulls[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+func (v *ColumnVec) clone() ColumnVec {
+	out := ColumnVec{kind: v.kind, nulls: append([]uint64(nil), v.nulls...)}
+	switch v.kind {
+	case value.KindInt:
+		out.ints = append(make([]int64, 0, cap(v.ints)), v.ints...)
+	case value.KindFloat:
+		out.floats = append(make([]float64, 0, cap(v.floats)), v.floats...)
+	default:
+		out.strs = append(make([]string, 0, cap(v.strs)), v.strs...)
+	}
+	return out
+}
+
+// Chunk is a fixed-capacity columnar slab of rows. Chunks referenced by a
+// Snapshot are immutable: the table marks them shared when a snapshot is
+// taken, and every subsequent mutation copies the chunk before writing
+// (copy-on-write), so snapshot readers never observe a half-applied change
+// and never take a lock while reading.
+type Chunk struct {
+	cols []ColumnVec
+	n    int
+	// shared is set (under the table's read lock) when a snapshot captures
+	// the chunk and read (under the write lock) by mutators deciding whether
+	// to copy-on-write. It is monotone within one chunk's lifetime: clones
+	// start unshared.
+	shared atomic.Bool
+}
+
+func newChunk(schema *Schema, capacity int) *Chunk {
+	c := &Chunk{cols: make([]ColumnVec, schema.NumColumns())}
+	for i := range c.cols {
+		c.cols[i] = newColumnVec(schema.cols[i].Kind, capacity)
+	}
+	return c
+}
+
+// Rows returns the number of rows in the chunk.
+func (c *Chunk) Rows() int { return c.n }
+
+// Col returns column ordinal's vector. Read-only for snapshot readers.
+func (c *Chunk) Col(ordinal int) *ColumnVec { return &c.cols[ordinal] }
+
+// NumCols returns the chunk's column count.
+func (c *Chunk) NumCols() int { return len(c.cols) }
+
+// DatumAt decodes the single value at (row, column ordinal).
+func (c *Chunk) DatumAt(row, ordinal int) value.Datum { return c.cols[ordinal].Datum(row) }
+
+// AppendRowTo appends row i's datums to buf and returns the extended slice;
+// with a nil buf it materializes a fresh row. Rows decoded from snapshot
+// chunks are freshly built and therefore safe to retain.
+func (c *Chunk) AppendRowTo(buf []value.Datum, i int) []value.Datum {
+	for ci := range c.cols {
+		buf = append(buf, c.cols[ci].Datum(i))
+	}
+	return buf
+}
+
+// SizeBytes returns the exact accounted size of the chunk's column arrays.
+func (c *Chunk) SizeBytes() int64 {
+	var b int64
+	for i := range c.cols {
+		b += c.cols[i].SizeBytes()
+	}
+	return b
+}
+
+func (c *Chunk) appendRow(row []value.Datum) {
+	for i := range c.cols {
+		c.cols[i].append(row[i])
+	}
+	c.n++
+}
+
+func (c *Chunk) setRow(i int, row []value.Datum) {
+	for ci := range c.cols {
+		c.cols[ci].set(i, row[ci])
+	}
+}
+
+func (c *Chunk) truncate(n int) {
+	for i := range c.cols {
+		c.cols[i].truncate(n)
+	}
+	c.n = n
+}
+
+func (c *Chunk) clone() *Chunk {
+	out := &Chunk{cols: make([]ColumnVec, len(c.cols)), n: c.n}
+	for i := range c.cols {
+		out.cols[i] = c.cols[i].clone()
+	}
+	return out
+}

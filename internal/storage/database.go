@@ -8,13 +8,23 @@ import (
 
 // Database is a named collection of tables — the engine's "instance".
 type Database struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
+	mu        sync.RWMutex
+	tables    map[string]*Table
+	chunkSize int
 }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database {
 	return &Database{tables: make(map[string]*Table)}
+}
+
+// SetChunkSize sets the rows-per-chunk capacity applied to tables created
+// afterwards (existing tables keep theirs); values < 1 restore the default.
+// Benchmarks sweep it; production leaves it alone.
+func (db *Database) SetChunkSize(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.chunkSize = n
 }
 
 // CreateTable registers a new empty table.
@@ -24,7 +34,7 @@ func (db *Database) CreateTable(name string, schema *Schema) (*Table, error) {
 	if _, exists := db.tables[name]; exists {
 		return nil, fmt.Errorf("storage: table %q already exists", name)
 	}
-	t := NewTable(name, schema)
+	t := NewTableWithChunkSize(name, schema, db.chunkSize)
 	db.tables[name] = t
 	return t, nil
 }

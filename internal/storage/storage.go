@@ -4,6 +4,13 @@
 // module, and — crucially for JITS — maintains the per-table UDI counter
 // (updates, deletes, inserts since the last statistics collection) that the
 // sensitivity analysis consumes as its data-activity signal s2.
+//
+// Storage is chunked columnar: rows live in fixed-size chunks of typed
+// column arrays (see chunk.go). Readers operate on immutable copy-on-write
+// snapshots (see snapshot.go), so scans hold no lock while running user
+// callbacks — a scan callback may even write to the same table — and every
+// row a scan hands out is freshly materialized, never an aliased window
+// into live storage.
 package storage
 
 import (
@@ -78,23 +85,40 @@ type UDI struct {
 // table cardinality to obtain s2.
 func (u UDI) Total() int64 { return u.Updates + u.Deletes + u.Inserts }
 
-// Table is an in-memory heap of rows with a fixed schema.
+// Table is a chunked columnar heap of rows with a fixed schema.
 //
-// Mutations bump a version counter so that secondary indexes and cached
-// statistics can detect staleness cheaply. All methods are safe for
-// concurrent use.
+// Version semantics (normalized): every successful mutating call — Insert,
+// InsertBatch, UpdateWhere, DeleteWhere — that changes at least one row
+// advances the version counter by at least one. The counter is a staleness
+// token, not a row count: InsertBatch advances it once for the whole batch,
+// Insert once per call. Consumers (secondary indexes, cached statistics,
+// the engine's plan-cache epoch) must therefore only compare versions for
+// inequality, never interpret the delta; the UDI counter is what counts
+// per-row activity. All methods are safe for concurrent use.
 type Table struct {
-	mu      sync.RWMutex
-	name    string
-	schema  *Schema
-	rows    [][]value.Datum
-	version uint64
-	udi     UDI
+	mu        sync.RWMutex
+	name      string
+	schema    *Schema
+	chunkSize int
+	chunks    []*Chunk
+	nrows     int
+	version   uint64
+	udi       UDI
 }
 
-// NewTable creates an empty table.
+// NewTable creates an empty table with the default chunk size.
 func NewTable(name string, schema *Schema) *Table {
-	return &Table{name: name, schema: schema}
+	return NewTableWithChunkSize(name, schema, DefaultChunkSize)
+}
+
+// NewTableWithChunkSize creates an empty table with the given rows-per-chunk
+// capacity; values < 1 select DefaultChunkSize. Tests shrink it to exercise
+// chunk-boundary paths on small tables; benchmarks sweep it.
+func NewTableWithChunkSize(name string, schema *Schema, chunkSize int) *Table {
+	if chunkSize < 1 {
+		chunkSize = DefaultChunkSize
+	}
+	return &Table{name: name, schema: schema, chunkSize: chunkSize}
 }
 
 // Name returns the table name.
@@ -103,15 +127,18 @@ func (t *Table) Name() string { return t.name }
 // Schema returns the table schema.
 func (t *Table) Schema() *Schema { return t.schema }
 
+// ChunkSize returns the table's rows-per-chunk capacity.
+func (t *Table) ChunkSize() int { return t.chunkSize }
+
 // RowCount returns the current cardinality.
 func (t *Table) RowCount() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.rows)
+	return t.nrows
 }
 
-// Version returns the mutation counter; any insert, update or delete
-// increments it.
+// Version returns the mutation counter; see the Table doc for its
+// (inequality-only) semantics.
 func (t *Table) Version() uint64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -133,6 +160,25 @@ func (t *Table) ResetUDI() {
 	t.udi = UDI{}
 }
 
+// Snapshot captures an immutable view of the table. The read lock is held
+// only long enough to copy the chunk pointer list and mark the chunks
+// shared; everything after that — chunk iteration, row materialization,
+// vectorized filtering — is lock-free.
+func (t *Table) Snapshot() *Snapshot {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	chunks := append([]*Chunk(nil), t.chunks...)
+	for _, c := range chunks {
+		if !c.shared.Load() {
+			c.shared.Store(true)
+		}
+	}
+	return &Snapshot{
+		name: t.name, schema: t.schema, chunkSize: t.chunkSize,
+		chunks: chunks, nrows: t.nrows, version: t.version,
+	}
+}
+
 func (t *Table) checkRow(row []value.Datum) error {
 	if len(row) != len(t.schema.cols) {
 		return fmt.Errorf("storage: table %s expects %d columns, got %d", t.name, len(t.schema.cols), len(row))
@@ -149,31 +195,71 @@ func (t *Table) checkRow(row []value.Datum) error {
 	return nil
 }
 
-// Insert appends one row after validating it against the schema.
+// writable returns chunk ci, copy-on-writing it first if a snapshot holds
+// it. Caller must hold the write lock.
+func (t *Table) writable(ci int) *Chunk {
+	c := t.chunks[ci]
+	if c.shared.Load() {
+		c = c.clone()
+		t.chunks[ci] = c
+	}
+	return c
+}
+
+// appendLocked appends one validated row. Caller must hold the write lock.
+func (t *Table) appendLocked(row []value.Datum) {
+	last := len(t.chunks) - 1
+	if last < 0 || t.chunks[last].n >= t.chunkSize {
+		t.chunks = append(t.chunks, newChunk(t.schema, t.chunkSize))
+		last++
+	}
+	t.writable(last).appendRow(row)
+	t.nrows++
+}
+
+// popLocked removes the globally last row. Caller must hold the write lock
+// and the table must be non-empty.
+func (t *Table) popLocked() {
+	last := len(t.chunks) - 1
+	c := t.writable(last)
+	c.truncate(c.n - 1)
+	if c.n == 0 {
+		t.chunks[last] = nil
+		t.chunks = t.chunks[:last]
+	}
+	t.nrows--
+}
+
+// Insert appends one row after validating it against the schema. The row is
+// encoded into column arrays, so the caller's slice is never retained.
 func (t *Table) Insert(row []value.Datum) error {
 	if err := t.checkRow(row); err != nil {
 		return err
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.rows = append(t.rows, append([]value.Datum(nil), row...))
+	t.appendLocked(row)
 	t.version++
 	t.udi.Inserts++
 	return nil
 }
 
 // InsertBatch appends many rows with a single lock acquisition and a single
-// version bump; the UDI counter still counts every row.
+// version bump (version is a staleness token — see the Table doc); the UDI
+// counter still counts every row.
 func (t *Table) InsertBatch(rows [][]value.Datum) error {
 	for _, r := range rows {
 		if err := t.checkRow(r); err != nil {
 			return err
 		}
 	}
+	if len(rows) == 0 {
+		return nil
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, r := range rows {
-		t.rows = append(t.rows, append([]value.Datum(nil), r...))
+		t.appendLocked(r)
 	}
 	t.version++
 	t.udi.Inserts += int64(len(rows))
@@ -181,90 +267,85 @@ func (t *Table) InsertBatch(rows [][]value.Datum) error {
 }
 
 // Scan invokes fn for every row in storage order until fn returns false.
-// The row slice is shared — callers must copy it if they retain it. The
-// table lock is held for the duration of the scan.
+// The scan runs over a snapshot: no lock is held during fn (a callback may
+// mutate the table, including this one, without deadlocking), and every row
+// is freshly materialized, so callers may retain rows without copying.
 func (t *Table) Scan(fn func(rowIdx int, row []value.Datum) bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for i, r := range t.rows {
-		if !fn(i, r) {
-			return
-		}
-	}
+	t.Snapshot().Scan(fn)
 }
 
 // ScanRange invokes fn for rows [lo, hi) in storage order until fn returns
-// false; the bounds are clamped to the current row count, so a morsel issued
-// against a since-shrunk table simply sees fewer rows. Like Scan, the row
-// slice is shared — callers must copy retained rows — and the read lock is
-// held for the duration, so parallel executor workers each scanning their
-// own morsel never observe a half-applied mutation.
+// false; the bounds are clamped to the snapshot's row count, so a morsel
+// issued against a since-shrunk table simply sees fewer rows. Like Scan it
+// is snapshot-based: lock-free during fn, rows safe to retain.
 func (t *Table) ScanRange(lo, hi int, fn func(rowIdx int, row []value.Datum) bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if lo < 0 {
-		lo = 0
-	}
-	if hi > len(t.rows) {
-		hi = len(t.rows)
-	}
-	for i := lo; i < hi; i++ {
-		if !fn(i, t.rows[i]) {
-			return
-		}
-	}
+	t.Snapshot().ScanRange(lo, hi, fn)
 }
 
 // Row returns a copy of the row at position idx.
 func (t *Table) Row(idx int) ([]value.Datum, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if idx < 0 || idx >= len(t.rows) {
-		return nil, fmt.Errorf("storage: row %d out of range [0,%d)", idx, len(t.rows))
-	}
-	return append([]value.Datum(nil), t.rows[idx]...), nil
+	return t.Snapshot().Row(idx)
 }
 
 // UpdateWhere applies set to every row matching pred and returns the number
-// of rows changed. set mutates the row in place; the schema is re-validated
-// afterwards.
+// of rows changed. pred and set receive a scratch decode of the row that is
+// reused between calls — they must not retain it; set mutates it in place
+// and the result is re-validated against the schema before being written
+// back, so a failed validation never leaves a corrupt row in storage.
 func (t *Table) UpdateWhere(pred func(row []value.Datum) bool, set func(row []value.Datum)) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	n := 0
-	for _, r := range t.rows {
-		if !pred(r) {
-			continue
+	buf := make([]value.Datum, 0, len(t.schema.cols))
+	var retErr error
+outer:
+	for ci := 0; ci < len(t.chunks); ci++ {
+		for i := 0; i < t.chunks[ci].n; i++ {
+			buf = t.chunks[ci].AppendRowTo(buf[:0], i)
+			if !pred(buf) {
+				continue
+			}
+			set(buf)
+			if err := t.checkRow(buf); err != nil {
+				retErr = err
+				break outer
+			}
+			t.writable(ci).setRow(i, buf)
+			n++
 		}
-		set(r)
-		if err := t.checkRow(r); err != nil {
-			return n, err
-		}
-		n++
 	}
 	if n > 0 {
 		t.version++
 		t.udi.Updates += int64(n)
 	}
-	return n, nil
+	return n, retErr
 }
 
 // DeleteWhere removes every row matching pred (order is not preserved; the
-// last row is swapped into the hole) and returns the number removed.
+// globally last row is swapped into the hole) and returns the number
+// removed. pred receives a reused scratch row — it must not retain it.
 func (t *Table) DeleteWhere(pred func(row []value.Datum) bool) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	n := 0
-	for i := 0; i < len(t.rows); {
-		if pred(t.rows[i]) {
-			last := len(t.rows) - 1
-			t.rows[i] = t.rows[last]
-			t.rows[last] = nil
-			t.rows = t.rows[:last]
-			n++
-			continue // re-examine the swapped-in row
+	buf := make([]value.Datum, 0, len(t.schema.cols))
+	lastBuf := make([]value.Datum, 0, len(t.schema.cols))
+	for i := 0; i < t.nrows; {
+		ci, off := i/t.chunkSize, i%t.chunkSize
+		buf = t.chunks[ci].AppendRowTo(buf[:0], off)
+		if !pred(buf) {
+			i++
+			continue
 		}
-		i++
+		lastIdx := t.nrows - 1
+		if i != lastIdx {
+			lci, loff := lastIdx/t.chunkSize, lastIdx%t.chunkSize
+			lastBuf = t.chunks[lci].AppendRowTo(lastBuf[:0], loff)
+			t.writable(ci).setRow(off, lastBuf)
+		}
+		t.popLocked()
+		n++
+		// Re-examine the swapped-in row at position i.
 	}
 	if n > 0 {
 		t.version++
@@ -276,11 +357,5 @@ func (t *Table) DeleteWhere(pred func(row []value.Datum) bool) int {
 // ColumnValues returns a copy of one column's datums; used by RUNSTATS-style
 // full statistics collection.
 func (t *Table) ColumnValues(ordinal int) []value.Datum {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]value.Datum, len(t.rows))
-	for i, r := range t.rows {
-		out[i] = r[ordinal]
-	}
-	return out
+	return t.Snapshot().ColumnValues(ordinal)
 }

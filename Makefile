@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke bench-columnar debug-smoke overload-smoke serve-smoke fuzz chaos chaos-net check
+.PHONY: all build test race vet bench bench-smoke bench-columnar debug-smoke drift-smoke overload-smoke serve-smoke fuzz chaos chaos-net check
 
 all: build
 
@@ -29,8 +29,8 @@ bench:
 # unexpected allocation on a disabled path fails review at a glance. CI
 # runs this target.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Disabled|AtomicLoadBaseline|NilTracer' -benchmem ./internal/metrics/ ./internal/tracing/ ./internal/flightrec/
-	$(GO) test -run '^$$' -bench 'StatementRecorder' -benchmem ./internal/engine/
+	$(GO) test -run '^$$' -bench 'Disabled|AtomicLoadBaseline|NilTracer' -benchmem ./internal/metrics/ ./internal/tracing/ ./internal/flightrec/ ./internal/accuracy/
+	$(GO) test -run '^$$' -bench 'StatementRecorder|StatementLedger' -benchmem ./internal/engine/
 
 # Columnar execution smoke: a small rowwise-vs-vectorized sweep through the
 # real jitsbench harness. The sweep itself cross-checks every configuration's
@@ -40,6 +40,15 @@ bench-smoke:
 # `jitsbench -exp columnar -scale 1.0`.
 bench-columnar:
 	$(GO) run ./cmd/jitsbench -exp columnar -scale 0.004 -queries 60 -sample 800
+
+# Drift-detection smoke: the accuracy ledger's unit proofs plus the
+# clock-injected quick drift run — warm a JITS engine, freeze collection,
+# shift one table's distribution mid-run, and assert the ledger flags
+# exactly that table as drifted. Pure Go, deterministic (logical-tick clock,
+# seeded workload). CI runs this target; for the committed sweep see
+# results/drift.csv and run `jitsbench -exp drift`.
+drift-smoke:
+	$(GO) test -count=1 -run 'TestLedger|TestDriftQuick' ./internal/accuracy/ ./internal/experiments/
 
 # End-to-end smoke of the embedded debug server: launches jitsbench with
 # -debug-addr on a free port and validates /metrics, /debug/health,

@@ -89,7 +89,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, table2, table3, fig3, fig4, fig5, fig6, oltp, parallel, columnar, overload (columnar and overload are excluded from all)")
+		exp      = flag.String("exp", "all", "experiment: all, table2, table3, fig3, fig4, fig5, fig6, oltp, parallel, columnar, overload, drift (columnar, overload and drift are excluded from all)")
 		scale    = flag.Float64("scale", 0.01, "dataset scale factor (1.0 = paper sizes)")
 		queries  = flag.Int("queries", 840, "workload query count")
 		seed     = flag.Int64("seed", 42, "random seed")
@@ -220,12 +220,45 @@ func main() {
 	if *exp == "overload" { // opt-in: wall-clock heavy, so "all" skips it
 		run("overload", func() error { return overload(opts, *gate) })
 	}
+	if *exp == "drift" { // opt-in: replays the stream twice (warm + shifted)
+		run("drift", func() error { return drift(opts) })
+	}
 	if *exp == "serve" { // opt-in for the same reason: real TCP wall clock
 		run("serve", func() error { return serveExperiment(opts, *sessF) })
 	}
 	if *exp == "serve-chaos" { // opt-in: injects real faults into real TCP
 		run("serve-chaos", func() error { return serveChaosExperiment(opts, *everyF) })
 	}
+}
+
+func drift(opts experiments.Options) error {
+	header("Drift: accuracy ledger vs. a mid-run distribution shift")
+	rep, err := experiments.Drift(opts, experiments.DriftOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shift applied after warm phase: %s\n\n", rep.ShiftSQL)
+	fmt.Printf("%-8s %-28s %-13s %-8s %6s %12s %10s %10s\n",
+		"phase", "stat", "table", "state", "obs", "ewma_qerror", "cusum", "churn")
+	var csvRows [][]string
+	for _, r := range rep.Rows {
+		fmt.Printf("%-8s %-28s %-13s %-8s %6d %12.3f %10.3f %10d\n",
+			r.Phase, r.Stat, r.Table, r.State, r.Observations, r.EWMAQError, r.CUSUM, r.ChurnRows)
+		csvRows = append(csvRows, []string{
+			r.Phase, r.Stat, r.Table, r.State,
+			strconv.FormatUint(r.Observations, 10),
+			f64(r.EWMAQError), f64(r.CUSUM),
+			strconv.FormatInt(r.ChurnRows, 10),
+		})
+	}
+	writeCSV("drift.csv",
+		[]string{"phase", "stat", "table", "state", "observations", "ewma_qerror", "cusum", "churn_rows"},
+		csvRows)
+	fmt.Printf("\ndrifted tables: %v (shifted: %s)\n", rep.DriftedTables, rep.ShiftedTable)
+	fmt.Println("expected shape: the warm phase ends with nothing drifted; after the city")
+	fmt.Println("boom only the shifted table's statistics cross into drifted — churn marks")
+	fmt.Println("them aging, stale-estimate error factors push the CUSUM past threshold")
+	return nil
 }
 
 func header(title string) {

@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/accuracy"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/workload"
@@ -38,8 +39,10 @@ func main() {
 	flag.Parse()
 
 	// The shell always records statements so SHOW QUERIES / EXPLAIN HISTORY
-	// have something to show.
+	// have something to show, and runs the accuracy ledger so SHOW ACCURACY
+	// and SHOW DRIFT do too.
 	cfg := engine.Config{FlightRecorderCapacity: -1}
+	cfg.Accuracy = accuracy.DefaultConfig()
 	if *jits {
 		cfg.JITS = core.DefaultConfig()
 	}

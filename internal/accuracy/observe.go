@@ -1,0 +1,25 @@
+package accuracy
+
+import "repro/internal/metrics"
+
+// Ledger telemetry, in the accuracy_* / drift_* families. Counter children
+// of the transition vector are pre-resolved once so the hot path never
+// takes the family lock.
+var (
+	mObservations = metrics.Default().Counter("accuracy_observations_total",
+		"Feedback observations recorded by the accuracy ledger.")
+	mMerges = metrics.Default().Counter("accuracy_merges_total",
+		"Archive merge events recorded by the accuracy ledger.")
+	mChurnRows = metrics.Default().Counter("accuracy_churn_rows_total",
+		"DML rows charged against tracked statistics.")
+	mTracked = metrics.Default().Gauge("accuracy_tracked_stats",
+		"Statistics currently tracked by the accuracy ledger.")
+
+	mTransitions = metrics.Default().CounterVec("drift_transitions_total",
+		"Ledger state-machine transitions by destination state.", "to")
+	mTransFresh   = mTransitions.With("fresh")
+	mTransAging   = mTransitions.With("aging")
+	mTransDrifted = mTransitions.With("drifted")
+	mDrifted      = metrics.Default().Gauge("drift_drifted_stats",
+		"Statistics currently in the drifted state.")
+)

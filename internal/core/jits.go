@@ -125,6 +125,15 @@ type JITS struct {
 	degrade costmodel.Degradation
 	tracer  *tracing.Tracer // bound by the engine; nil-safe when unbound
 	breaker *govern.Breaker // bound by the engine; nil-safe when unbound
+	merges  MergeObserver   // bound by the engine; nil-safe when unbound
+}
+
+// MergeObserver is notified whenever a quantified statistic is merged
+// (materialized) into the archive — the accuracy ledger subscribes through
+// it. Implementations must be cheap when disabled; the call sits on the
+// compilation path.
+type MergeObserver interface {
+	ObserveMerge(ts int64, table, key string)
 }
 
 // New builds a JITS coordinator sharing the engine's catalog and feedback
@@ -149,6 +158,10 @@ func (j *JITS) BindTracer(t *tracing.Tracer) { j.tracer = t }
 // mode) and counts each skipped table as a breaker degradation. A nil
 // breaker (the default) never trips.
 func (j *JITS) BindBreaker(b *govern.Breaker) { j.breaker = b }
+
+// BindMergeObserver attaches an archive merge subscriber (the engine's
+// accuracy ledger). A nil observer (the default) disables the events.
+func (j *JITS) BindMergeObserver(o MergeObserver) { j.merges = o }
 
 // DegradationCounts snapshots the cumulative graceful-degradation counters:
 // how many tables fell back to catalog statistics, by cause.
@@ -572,6 +585,9 @@ func (j *JITS) collectTable(ctx context.Context, tbl *storage.Table, name string
 			touched := j.archive.Materialize(name, g, sel, ts, domains)
 			meter.Add(w.HistUpdate * float64(touched))
 			tr.GroupsMaterialized++
+			if j.merges != nil {
+				j.merges.ObserveMerge(ts, name, qgm.ColumnGroupKey(name, qgm.GroupColumns(g)))
+			}
 		}
 	}
 	tr.SampleRows = len(sample)

@@ -9,7 +9,8 @@
 //	GET /debug/pprof/    net/http/pprof index (profile, heap, goroutine, …)
 //	GET /debug/archive   QSS archive histograms as JSON
 //	GET /debug/queries   flight-recorder records + post-mortems as JSON
-//	GET /debug/health    engine open/closed + degradation counters as JSON
+//	GET /debug/accuracy  accuracy-ledger rows + drift states as JSON
+//	GET /debug/health    engine open/closed + degradation + drift as JSON
 //	GET /debug/sessions  live SQL-service sessions as JSON (when serving)
 //
 // The server holds the engine behind an atomic pointer: endpoints stay safe
@@ -59,6 +60,7 @@ func New(eng *engine.Engine) *Server {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/archive", s.handleArchive)
 	mux.HandleFunc("/debug/queries", s.handleQueries)
+	mux.HandleFunc("/debug/accuracy", s.handleAccuracy)
 	mux.HandleFunc("/debug/health", s.handleHealth)
 	mux.HandleFunc("/debug/sessions", s.handleSessions)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -192,6 +194,26 @@ func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleAccuracy serves the estimator-accuracy ledger: every tracked
+// statistic with its freshness state and drift evidence, plus the per-state
+// totals. ?table=t filters to one table's statistics.
+func (s *Server) handleAccuracy(w http.ResponseWriter, r *http.Request) {
+	eng := s.engineOr503(w)
+	if eng == nil {
+		return
+	}
+	led := eng.Accuracy()
+	tracked, fresh, aging, drifted := led.Counts()
+	writeJSON(w, map[string]any{
+		"enabled": led.Enabled(),
+		"tracked": tracked,
+		"fresh":   fresh,
+		"aging":   aging,
+		"drifted": drifted,
+		"stats":   led.Snapshot(r.URL.Query().Get("table")),
+	})
+}
+
 func (s *Server) handleSessions(w http.ResponseWriter, _ *http.Request) {
 	fn := s.sessions.Load()
 	if fn == nil {
@@ -227,6 +249,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	deg := eng.Degradation()
+	// Drift is surfaced on health (counts only; /debug/accuracy has the
+	// rows) so a fleet dashboard sees stale statistics without another
+	// scrape target — but drifted stats alone never fail the probe: the
+	// node still serves correctly, just possibly with worse plans.
+	tracked, fresh, aging, drifted := eng.Accuracy().Counts()
 	writeJSONStatus(w, code, map[string]any{
 		"status": status,
 		"degradation": map[string]int64{
@@ -238,5 +265,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			"breaker_open":     deg.BreakerOpen,
 		},
 		"governor": gov.Snapshot(),
+		"drift": map[string]any{
+			"enabled": eng.Accuracy().Enabled(),
+			"tracked": tracked,
+			"fresh":   fresh,
+			"aging":   aging,
+			"drifted": drifted,
+		},
 	})
 }

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/accuracy"
 	"repro/internal/debugserver"
 	"repro/internal/engine"
 	"repro/internal/govern"
@@ -31,6 +33,7 @@ func testEngine(t *testing.T) *engine.Engine {
 	cfg.JITS.Enabled = true
 	cfg.JITS.SMax = 0.5
 	cfg.JITS.SampleSize = 100
+	cfg.Accuracy = accuracy.DefaultConfig()
 	e := engine.New(cfg)
 	stmts := []string{
 		`CREATE TABLE t (id INT, grp STRING)`,
@@ -240,5 +243,130 @@ func TestPprofIndex(t *testing.T) {
 	code, _, body := get(t, base+"/debug/pprof/")
 	if code != http.StatusOK || !strings.Contains(string(body), "goroutine") {
 		t.Fatalf("pprof index: status %d body %.80s", code, body)
+	}
+}
+
+// topLevelKeys decodes a JSON object and returns its sorted top-level keys.
+func topLevelKeys(t *testing.T, body []byte) []string {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("invalid JSON object: %v\n%s", err, body)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestDebugEndpointGoldenSchemas pins the top-level JSON shape of the debug
+// endpoints. Dashboards and scripts key on these names; renaming or dropping
+// a field is a breaking change and must show up here.
+func TestDebugEndpointGoldenSchemas(t *testing.T) {
+	e := testEngine(t)
+	_, base := startedServer(t, e)
+	golden := []struct {
+		path string
+		keys []string
+	}{
+		{"/debug/accuracy", []string{"aging", "drifted", "enabled", "fresh", "stats", "tracked"}},
+		{"/debug/archive", []string{"buckets", "histograms", "memo_entries"}},
+		{"/debug/queries", []string{"capacity", "enabled", "postmortems", "records", "total"}},
+	}
+	for _, g := range golden {
+		code, ctype, body := get(t, base+g.path)
+		if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+			t.Fatalf("%s: status %d, content type %q", g.path, code, ctype)
+		}
+		if got := topLevelKeys(t, body); strings.Join(got, ",") != strings.Join(g.keys, ",") {
+			t.Errorf("%s keys = %v, want %v", g.path, got, g.keys)
+		}
+	}
+}
+
+// TestAccuracyEndpoint: the ledger-backed endpoint reports counts and
+// per-statistic entries with the documented field names, and ?table= filters.
+func TestAccuracyEndpoint(t *testing.T) {
+	e := testEngine(t)
+	_, base := startedServer(t, e)
+	code, _, body := get(t, base+"/debug/accuracy")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var got struct {
+		Enabled bool `json:"enabled"`
+		Tracked int  `json:"tracked"`
+		Drifted int  `json:"drifted"`
+		Stats   []struct {
+			Key          string    `json:"key"`
+			Table        string    `json:"table"`
+			State        string    `json:"state"`
+			Observations uint64    `json:"observations"`
+			EWMAQError   float64   `json:"ewma_qerror"`
+			CUSUM        float64   `json:"cusum"`
+			ChurnRows    int64     `json:"churn_rows"`
+			Hist         []uint64  `json:"hist"`
+			HistBounds   []float64 `json:"hist_bounds"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if !got.Enabled || got.Tracked == 0 || len(got.Stats) != got.Tracked {
+		t.Fatalf("enabled=%v tracked=%d stats=%d", got.Enabled, got.Tracked, len(got.Stats))
+	}
+	for _, s := range got.Stats {
+		if s.Table != "t" || !strings.HasPrefix(s.Key, "t(") {
+			t.Errorf("unexpected stat %q for table %q", s.Key, s.Table)
+		}
+		if s.State != "fresh" && s.State != "aging" && s.State != "drifted" {
+			t.Errorf("%s: state %q", s.Key, s.State)
+		}
+		if s.Observations == 0 || s.EWMAQError < 1 {
+			t.Errorf("%s: observations=%d ewma_qerror=%v", s.Key, s.Observations, s.EWMAQError)
+		}
+		if len(s.Hist) != len(s.HistBounds)+1 {
+			t.Errorf("%s: hist %d counts for %d bounds", s.Key, len(s.Hist), len(s.HistBounds))
+		}
+	}
+	// ?table= filters; a table nobody queried yields an empty stats slice.
+	code, _, body = get(t, base+"/debug/accuracy?table=nope")
+	if code != http.StatusOK {
+		t.Fatalf("?table=nope status %d", code)
+	}
+	if err := json.Unmarshal(body, &got); err != nil || len(got.Stats) != 0 {
+		t.Fatalf("?table=nope returned %d stats (err %v)", len(got.Stats), err)
+	}
+}
+
+// TestHealthDriftSection: /debug/health carries the ledger counts so a
+// probe can alert on drifted statistics without scraping the full snapshot.
+func TestHealthDriftSection(t *testing.T) {
+	e := testEngine(t)
+	_, base := startedServer(t, e)
+	code, _, body := get(t, base+"/debug/health")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var got struct {
+		Drift struct {
+			Enabled bool `json:"enabled"`
+			Tracked int  `json:"tracked"`
+			Fresh   int  `json:"fresh"`
+			Aging   int  `json:"aging"`
+			Drifted int  `json:"drifted"`
+		} `json:"drift"`
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	d := got.Drift
+	if !d.Enabled || d.Tracked == 0 || d.Fresh+d.Aging+d.Drifted != d.Tracked {
+		t.Fatalf("drift section = %+v", d)
+	}
+	if d.Drifted != 0 {
+		t.Fatalf("healthy engine reports %d drifted stats", d.Drifted)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/accuracy"
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/costmodel"
@@ -110,6 +111,12 @@ type Config struct {
 	// columnar storage layer for tables created by this engine; 0 keeps
 	// storage.DefaultChunkSize. Benchmarks sweep it.
 	StorageChunkSize int
+	// Accuracy configures the estimator-accuracy ledger (SHOW ACCURACY /
+	// SHOW DRIFT, /debug/accuracy): per-statistic EWMA q-error, DML churn
+	// and CUSUM drift detection over the feedback stream. The zero value
+	// leaves the ledger disabled; statements then pay one atomic load per
+	// probe. It can also be enabled later through Accuracy().
+	Accuracy accuracy.Config
 }
 
 // ExecOptions tune one Exec call — the per-query session knobs.
@@ -163,6 +170,7 @@ type Engine struct {
 	selectCount  int64
 	tracer       *tracing.Tracer
 	recorder     *flightrec.Recorder
+	accuracy     *accuracy.Ledger
 	governor     *govern.Governor
 	parallelism  int
 	rowOriented  bool
@@ -211,6 +219,12 @@ func New(cfg Config) *Engine {
 	}
 	governor := govern.New(cfg.Governor)
 	jits.BindBreaker(governor.SamplingBreaker())
+	// The accuracy ledger always exists (so it can be enabled later); while
+	// disabled every probe on it is one atomic load. It subscribes to
+	// archive merges through the JITS coordinator and shares the tracer.
+	ledger := accuracy.New(cfg.Accuracy)
+	ledger.BindTracer(tracer)
+	jits.BindMergeObserver(ledger)
 	e := &Engine{
 		db:           storage.NewDatabase(),
 		cat:          cat,
@@ -221,6 +235,7 @@ func New(cfg Config) *Engine {
 		migrateEvery: cfg.MigrateEvery,
 		tracer:       tracer,
 		recorder:     recorder,
+		accuracy:     ledger,
 		governor:     governor,
 		parallelism:  cfg.Parallelism,
 		rowOriented:  cfg.RowOrientedExec,
@@ -283,6 +298,11 @@ func (e *Engine) Tracer() *tracing.Tracer { return e.tracer }
 // only while enabled (Config.FlightRecorderCapacity != 0, or an explicit
 // Enable). Safe to read concurrently with statements and across Close.
 func (e *Engine) Recorder() *flightrec.Recorder { return e.recorder }
+
+// Accuracy exposes the estimator-accuracy ledger. Always non-nil; it
+// records only while enabled (Config.Accuracy.Enabled, or an explicit
+// Enable). Safe to read concurrently with statements.
+func (e *Engine) Accuracy() *accuracy.Ledger { return e.accuracy }
 
 // Closed reports whether Close has been called (the debug server's health
 // endpoint reads this).
@@ -437,6 +457,7 @@ func (e *Engine) ExecWithContext(ctx context.Context, sql string, opts ExecOptio
 				if e.recorder.Enabled() {
 					rec = e.recorder.Begin(ts, sql)
 					rec.Annotations = opts.Annotations
+					rec.ArchiveEpoch = epoch
 				}
 				stmtSelect.Inc()
 				res, err := e.execCachedSelect(ctx, ent, dop, ts, rec, mem)
@@ -482,6 +503,7 @@ func (e *Engine) ExecWithContext(ctx context.Context, sql string, opts ExecOptio
 	if e.recorder.Enabled() {
 		rec = e.recorder.Begin(ts, sql)
 		rec.Annotations = opts.Annotations
+		rec.ArchiveEpoch = e.archiveEpoch.Load()
 	}
 	var res *Result
 	var kind string
@@ -515,6 +537,14 @@ func (e *Engine) ExecWithContext(ctx context.Context, sql string, opts ExecOptio
 			kind = "show_metrics"
 			stmtShowMetrics.Inc()
 			res, err = e.execShowMetrics()
+		case sqlparser.ShowAccuracy:
+			kind = "show_accuracy"
+			stmtShowAccuracy.Inc()
+			res, err = e.execShowAccuracy(ts, s.Table)
+		case sqlparser.ShowDrift:
+			kind = "show_drift"
+			stmtShowDrift.Inc()
+			res, err = e.execShowDrift(ts)
 		default:
 			err = fmt.Errorf("engine: unsupported SHOW %v", s.Kind)
 		}
@@ -550,6 +580,19 @@ func (e *Engine) ExecWithContext(ctx context.Context, sql string, opts ExecOptio
 	// later statement can reuse a plan compiled against the old state.
 	if err == nil && (kind == "dml" || kind == "ddl") {
 		e.bumpArchiveEpoch()
+	}
+	// DML churn ages the accuracy ledger's view of the table's statistics.
+	if err == nil && kind == "dml" && res != nil && res.RowsAffected > 0 && e.accuracy.Enabled() {
+		var table string
+		switch s := stmt.(type) {
+		case *sqlparser.InsertStmt:
+			table = s.Table
+		case *sqlparser.UpdateStmt:
+			table = s.Table
+		case *sqlparser.DeleteStmt:
+			table = s.Table
+		}
+		e.accuracy.RecordChurn(ts, table, int64(res.RowsAffected))
 	}
 	wall := time.Since(start)
 	govern.ObserveStatementPeak(mem.Peak())
@@ -851,10 +894,17 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 					if op.QError > rec.WorstQError {
 						rec.WorstQError = op.QError
 					}
+					switch n.(type) {
+					case *optimizer.Scan:
+						qerrorScan.Observe(op.QError)
+					case *optimizer.Join:
+						qerrorJoin.Observe(op.QError)
+					}
 				}
 				rec.Operators = append(rec.Operators, op)
 			})
 		}
+		observeAggQError(blk, plan, stats)
 	}
 
 	if mode == modeExplainAnalyze {

@@ -4,14 +4,16 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/accuracy"
 	"repro/internal/metrics"
 	"repro/internal/value"
 )
 
 // This file implements the SQL introspection statements — SHOW STATS, SHOW
-// QUERIES [LAST n], SHOW METRICS and EXPLAIN HISTORY <qid>. They run through
-// the ordinary Exec path and return ordinary result sets, so the
-// differential and chaos harnesses can replay them like any other statement.
+// QUERIES [LAST n], SHOW METRICS, SHOW ACCURACY [FOR t], SHOW DRIFT and
+// EXPLAIN HISTORY <qid>. They run through the ordinary Exec path and return
+// ordinary result sets, so the differential and chaos harnesses can replay
+// them like any other statement.
 
 // execShowStats lists the QSS archive's grid histograms: shape (dimensions,
 // buckets), maximum-entropy merge count, staleness in logical ticks relative
@@ -64,7 +66,7 @@ func (e *Engine) execShowStats(ts int64) (*Result, error) {
 // first. last ≤ 0 returns everything in the ring.
 func (e *Engine) execShowQueries(last int) (*Result, error) {
 	cols := []string{"qid", "kind", "sql", "rows", "wall_ms", "compile_s", "exec_s",
-		"worst_qerror", "sampled_tables", "archive_hits", "archive_misses", "degraded", "error"}
+		"worst_qerror", "sampled_tables", "archive_hits", "archive_misses", "degraded", "error", "epoch"}
 	recs := e.recorder.Last(last)
 	rows := make([][]value.Datum, 0, len(recs))
 	for _, r := range recs {
@@ -96,6 +98,7 @@ func (e *Engine) execShowQueries(last int) (*Result, error) {
 			value.NewInt(int64(r.ArchiveMisses)),
 			value.NewInt(degraded),
 			value.NewString(r.Err),
+			value.NewInt(int64(r.ArchiveEpoch)),
 		})
 	}
 	return &Result{Columns: cols, Rows: rows}, nil
@@ -117,6 +120,53 @@ func (e *Engine) execShowMetrics() (*Result, error) {
 		})
 	}
 	return &Result{Columns: cols, Rows: rows}, nil
+}
+
+// accuracyRows renders ledger snapshot rows for SHOW ACCURACY / SHOW DRIFT.
+// Staleness-style ages (merge_age, churn) are relative to the statement's
+// own timestamp, matching SHOW STATS.
+func accuracyRows(ts int64, snaps []accuracy.StatAccuracy) [][]value.Datum {
+	rows := make([][]value.Datum, 0, len(snaps))
+	for _, s := range snaps {
+		age := ts - s.LastMerge
+		if age < 0 {
+			age = 0
+		}
+		driftedAt := value.Null
+		if s.DriftedAt > 0 {
+			driftedAt = value.NewInt(s.DriftedAt)
+		}
+		rows = append(rows, []value.Datum{
+			value.NewString(s.Key),
+			value.NewString(s.Table),
+			value.NewString(s.State),
+			value.NewInt(int64(s.Observations)),
+			value.NewFloat(s.EWMAQError),
+			value.NewFloat(s.CUSUM),
+			value.NewInt(s.ChurnSinceMerge),
+			value.NewInt(age),
+			value.NewInt(int64(s.Merges)),
+			value.NewInt(s.LastObserved),
+			driftedAt,
+		})
+	}
+	return rows
+}
+
+var accuracyCols = []string{"stat", "table", "state", "observations", "ewma_qerror",
+	"cusum", "churn_rows", "merge_age", "merges", "last_observed", "drifted_at"}
+
+// execShowAccuracy lists the accuracy ledger: one row per tracked statistic
+// with its freshness state, decayed q-error, drift evidence and churn.
+// table filters to one table's statistics; empty lists all.
+func (e *Engine) execShowAccuracy(ts int64, table string) (*Result, error) {
+	return &Result{Columns: accuracyCols, Rows: accuracyRows(ts, e.accuracy.Snapshot(table))}, nil
+}
+
+// execShowDrift lists only the statistics currently in the drifted state —
+// the operator's "what went stale" view.
+func (e *Engine) execShowDrift(ts int64) (*Result, error) {
+	return &Result{Columns: accuracyCols, Rows: accuracyRows(ts, e.accuracy.Drifted())}, nil
 }
 
 // execExplainHistory replays the flight-recorded plan of statement qid with

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/accuracy"
 	"repro/internal/core"
 	"repro/internal/flightrec"
 	"repro/internal/metrics"
@@ -232,6 +233,8 @@ func TestStatementKindMetricLabels(t *testing.T) {
 		"show_stats":      stmtShowStats,
 		"show_queries":    stmtShowQueries,
 		"show_metrics":    stmtShowMetrics,
+		"show_accuracy":   stmtShowAccuracy,
+		"show_drift":      stmtShowDrift,
 		"dml":             stmtDML,
 		"ddl":             stmtDDL,
 	}
@@ -245,6 +248,8 @@ func TestStatementKindMetricLabels(t *testing.T) {
 		{`SHOW STATS`, "show_stats"},
 		{`SHOW QUERIES LAST 1`, "show_queries"},
 		{`SHOW METRICS`, "show_metrics"},
+		{`SHOW ACCURACY`, "show_accuracy"},
+		{`SHOW DRIFT`, "show_drift"},
 		{`INSERT INTO owner VALUES (9100, 'om', 'Boston', 'US', 1)`, "dml"},
 		{`UPDATE owner SET salary = 2 WHERE id = 9100`, "dml"},
 		{`DELETE FROM owner WHERE id = 9100`, "dml"},
@@ -398,6 +403,182 @@ func benchmarkStatement(b *testing.B, recorderCap int) {
 	cfg := Config{FlightRecorderCapacity: recorderCap}
 	cfg.JITS = core.DefaultConfig()
 	cfg.JITS.SampleSize = 200
+	e := seedEngine(b, cfg)
+	sql := `SELECT c.id FROM car c, owner o WHERE c.ownerid = o.id AND o.city = 'Ottawa'`
+	if _, err := e.Exec(sql); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exec(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ledgerEngine is recorderEngine with the accuracy ledger enabled — the
+// configuration SHOW ACCURACY and SHOW DRIFT are interesting under.
+func ledgerEngine(t testing.TB) *Engine {
+	t.Helper()
+	cfg := Config{FlightRecorderCapacity: -1}
+	cfg.JITS = core.DefaultConfig()
+	cfg.JITS.SampleSize = 200
+	cfg.Accuracy = accuracy.DefaultConfig()
+	return seedEngine(t, cfg)
+}
+
+// TestShowAccuracyThroughExec runs SHOW ACCURACY through the ordinary Exec
+// path after a few queries have fed the ledger, and pins the column shape.
+func TestShowAccuracyThroughExec(t *testing.T) {
+	e := ledgerEngine(t)
+	for _, sql := range []string{
+		`SELECT id FROM car WHERE make = 'Toyota'`,
+		`SELECT id FROM owner WHERE city = 'Ottawa'`,
+		`SELECT id FROM owner WHERE city = 'Ottawa'`,
+	} {
+		if _, err := e.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := e.Exec(`SHOW ACCURACY`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols := []string{"stat", "table", "state", "observations", "ewma_qerror",
+		"cusum", "churn_rows", "merge_age", "merges", "last_observed", "drifted_at"}
+	if got := strings.Join(res.Columns, ","); got != strings.Join(wantCols, ",") {
+		t.Fatalf("SHOW ACCURACY columns = %s", got)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("SHOW ACCURACY returned no rows although queries ran with the ledger on")
+	}
+	for _, row := range res.Rows {
+		stat, table, state := row[0].Str(), row[1].Str(), row[2].Str()
+		if !strings.HasPrefix(stat, table+"(") {
+			t.Errorf("stat key %q does not carry table %q", stat, table)
+		}
+		if state != "fresh" && state != "aging" && state != "drifted" {
+			t.Errorf("%s: state = %q", stat, state)
+		}
+		if obs := row[3].Int(); obs < 1 {
+			t.Errorf("%s: observations = %d", stat, obs)
+		}
+		if q, _ := row[4].AsFloat(); q < 1 {
+			t.Errorf("%s: ewma_qerror = %v, want >= 1", stat, q)
+		}
+		if age := row[7].Int(); age < 0 {
+			t.Errorf("%s: merge_age = %d", stat, age)
+		}
+	}
+
+	// The FOR filter narrows to one table.
+	res, err = e.Exec(`SHOW ACCURACY FOR owner`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("SHOW ACCURACY FOR owner returned no rows")
+	}
+	for _, row := range res.Rows {
+		if row[1].Str() != "owner" {
+			t.Errorf("FOR owner returned table %q", row[1].Str())
+		}
+	}
+}
+
+// TestShowDriftThroughExec: the drifted subset is empty on a healthy engine
+// and carries the same columns as SHOW ACCURACY.
+func TestShowDriftThroughExec(t *testing.T) {
+	e := ledgerEngine(t)
+	if _, err := e.Exec(`SELECT id FROM car WHERE make = 'Toyota'`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Exec(`SHOW DRIFT`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Join(res.Columns, ","), strings.Join(accuracyCols, ","); got != want {
+		t.Fatalf("SHOW DRIFT columns = %s, want %s", got, want)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("healthy engine reports drifted stats: %+v", res.Rows)
+	}
+}
+
+// TestShowAccuracyDisabledLedger: with the ledger off the statements still
+// work and report nothing.
+func TestShowAccuracyDisabledLedger(t *testing.T) {
+	e := seedEngine(t, Config{})
+	if _, err := e.Exec(`SELECT id FROM car WHERE make = 'BMW'`); err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range []string{`SHOW ACCURACY`, `SHOW DRIFT`} {
+		res, err := e.Exec(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 0 {
+			t.Fatalf("%s on a disabled ledger returned %d rows", sql, len(res.Rows))
+		}
+	}
+}
+
+// TestShowQueriesEpochColumn: every flight-recorder row carries the archive
+// epoch it executed under, surfaced as the (appended-last) epoch column.
+func TestShowQueriesEpochColumn(t *testing.T) {
+	e := recorderEngine(t)
+	if _, err := e.Exec(`SELECT id FROM car WHERE make = 'Toyota'`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Exec(`SHOW QUERIES`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Columns[len(res.Columns)-1]; got != "epoch" {
+		t.Fatalf("last SHOW QUERIES column = %q, want epoch", got)
+	}
+	epochIdx := len(res.Columns) - 1
+	for i, row := range res.Rows {
+		if ep := row[epochIdx].Int(); ep < 0 {
+			t.Errorf("row %d: epoch = %d", i, ep)
+		}
+	}
+	// A DML bumps the archive epoch; the next recorded statement must carry
+	// the larger value.
+	before := res.Rows[len(res.Rows)-1][epochIdx].Int()
+	if _, err := e.Exec(`INSERT INTO owner VALUES (9002, 'ep', 'Ottawa', 'CA', 1)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec(`SELECT id FROM car WHERE make = 'Toyota'`); err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.Exec(`SHOW QUERIES LAST 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := res.Rows[0][epochIdx].Int(); after <= before {
+		t.Fatalf("epoch did not advance across DML: before=%d after=%d", before, after)
+	}
+}
+
+// BenchmarkStatementLedger measures the end-to-end statement cost with the
+// accuracy ledger off vs. on — the same <5% overhead budget the flight
+// recorder honors. `make bench-smoke` runs both; compare the two numbers.
+func BenchmarkStatementLedgerOff(b *testing.B) {
+	benchmarkStatementLedger(b, false)
+}
+
+func BenchmarkStatementLedgerOn(b *testing.B) {
+	benchmarkStatementLedger(b, true)
+}
+
+func benchmarkStatementLedger(b *testing.B, enabled bool) {
+	cfg := Config{}
+	cfg.JITS = core.DefaultConfig()
+	cfg.JITS.SampleSize = 200
+	cfg.Accuracy = accuracy.DefaultConfig()
+	cfg.Accuracy.Enabled = enabled
 	e := seedEngine(b, cfg)
 	sql := `SELECT c.id FROM car c, owner o WHERE c.ownerid = o.id AND o.city = 'Ottawa'`
 	if _, err := e.Exec(sql); err != nil {

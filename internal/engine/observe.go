@@ -1,7 +1,11 @@
 package engine
 
 import (
+	"repro/internal/executor"
+	"repro/internal/flightrec"
 	"repro/internal/metrics"
+	"repro/internal/optimizer"
+	"repro/internal/qgm"
 )
 
 // Statement-level instruments on the process-wide default registry. They are
@@ -24,9 +28,39 @@ var (
 	stmtShowStats      = stmtCount.With("show_stats")
 	stmtShowQueries    = stmtCount.With("show_queries")
 	stmtShowMetrics    = stmtCount.With("show_metrics")
+	stmtShowAccuracy   = stmtCount.With("show_accuracy")
+	stmtShowDrift      = stmtCount.With("show_drift")
 	stmtDML            = stmtCount.With("dml")
 	stmtDDL            = stmtCount.With("ddl")
 	stmtErrors         = metrics.Default().Counter(
 		"engine_statement_errors_total",
 		"Statements that returned an error.")
+
+	// Per-operator q-error as an aggregable distribution (the flight
+	// recorder keeps the same numbers per statement). Observed wherever
+	// per-operator actuals are captured — which rides the recorder being
+	// enabled, like the actuals themselves. "agg" is the estimate at the
+	// aggregation input boundary: the engine does not model group counts,
+	// so the plan root's estimate/actual pair is what the aggregation
+	// stage was fed.
+	qerrorHist = metrics.Default().HistogramVec(
+		"engine_qerror",
+		"Per-operator q-error (max(est,act)/min(est,act) of cardinalities), by operator kind.",
+		"op",
+		metrics.QErrorBuckets())
+	qerrorScan = qerrorHist.With("scan")
+	qerrorJoin = qerrorHist.With("join")
+	qerrorAgg  = qerrorHist.With("agg")
 )
+
+// observeAggQError records the "agg" q-error sample for aggregated blocks:
+// the plan root's estimated vs. actual cardinality, i.e. the estimate the
+// executor's aggregation stage (which has no plan node of its own) was fed.
+func observeAggQError(blk *qgm.Block, plan optimizer.Node, stats *executor.ExecStats) {
+	if blk == nil || !blk.Aggregated() {
+		return
+	}
+	if st, ok := stats.Lookup(plan); ok {
+		qerrorAgg.Observe(flightrec.QError(plan.Rows(), st.Rows))
+	}
+}

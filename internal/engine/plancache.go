@@ -88,9 +88,16 @@ func (e *Engine) execCachedSelect(ctx context.Context, ent *cachedPlan, dop int,
 				if op.QError > rec.WorstQError {
 					rec.WorstQError = op.QError
 				}
+				switch n.(type) {
+				case *optimizer.Scan:
+					qerrorScan.Observe(op.QError)
+				case *optimizer.Join:
+					qerrorJoin.Observe(op.QError)
+				}
 			}
 			rec.Operators = append(rec.Operators, op)
 		})
+		observeAggQError(ent.blk, ent.plan, stats)
 	}
 
 	return &Result{
@@ -110,6 +117,7 @@ func (e *Engine) execCachedSelect(ctx context.Context, ent *cachedPlan, dop int,
 // the periodic statistics-migration cadence.
 func (e *Engine) postExecute(ts int64, blk *qgm.Block, allActuals, mainActuals []executor.ScanActual, rec *flightrec.Record) {
 	fbSpan := e.tracer.Start(ts, tracing.PhaseFeedback)
+	ledger := e.accuracy.Enabled()
 	var obs []core.Observation
 	for _, a := range allActuals {
 		if a.Trace == nil || a.Conditioned {
@@ -123,9 +131,20 @@ func (e *Engine) postExecute(ts int64, blk *qgm.Block, allActuals, mainActuals [
 			ActualSel: a.ActualSelectivity(),
 			BaseCard:  int64(a.BaseRows),
 		})
-		if rec != nil {
-			rec.ErrorFactors = append(rec.ErrorFactors,
-				feedback.ErrorFactor(a.Trace.EstSel, a.ActualSelectivity(), int64(a.BaseRows)))
+		if rec != nil || ledger {
+			ef := feedback.ErrorFactor(a.Trace.EstSel, a.ActualSelectivity(), int64(a.BaseRows))
+			if rec != nil {
+				rec.ErrorFactors = append(rec.ErrorFactors, ef)
+			}
+			if ledger {
+				// The accuracy ledger watches the same feedback stream; a
+				// statistic crossing into drifted annotates the statement
+				// that tripped the detector.
+				if tr, ok := e.accuracy.ObserveFeedback(ts, a.Trace.Table, a.Trace.ColGrp, ef, int64(a.BaseRows)); ok && rec != nil {
+					rec.Annotations = append(rec.Annotations,
+						fmt.Sprintf("accuracy: %s %s -> %s", tr.Key, tr.From, tr.To))
+				}
+			}
 		}
 		e.tracef("q%d feedback %s est=%.5f actual=%.5f stats=%v",
 			ts, a.Trace.ColGrp, a.Trace.EstSel, a.ActualSelectivity(), a.Trace.StatList)

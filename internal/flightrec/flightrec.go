@@ -102,6 +102,12 @@ type Record struct {
 	// the engine's plan cache (no parse/JITS-prepare/optimize phases ran).
 	PlanCacheHit bool `json:"plan_cache_hit,omitempty"`
 
+	// ArchiveEpoch is the plan-cache epoch counter at the moment the
+	// statement began: the archive/data generation it was planned against.
+	// A drifted-plan post-mortem correlates this against the current epoch
+	// to see how many stats-changing mutations the plan survived.
+	ArchiveEpoch uint64 `json:"archive_epoch"`
+
 	// Annotations are caller-supplied labels (engine.ExecOptions.Annotations);
 	// the SQL service tags statements that arrived through a client retry
 	// ("wire: retry attempt N") or on a resumed session ("wire: resumed

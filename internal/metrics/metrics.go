@@ -518,3 +518,10 @@ func LatencyBuckets() []float64 {
 func ErrorFactorBuckets() []float64 {
 	return []float64{0.01, 0.1, 0.25, 0.5, 0.8, 1.25, 2, 4, 10, 100}
 }
+
+// QErrorBuckets are the default upper bounds for q-error histograms.
+// Q-error is max(est,act)/min(est,act), so it is >= 1 by construction;
+// the bounds spread the useful 1–1000 range.
+func QErrorBuckets() []float64 {
+	return []float64{1.05, 1.1, 1.25, 1.5, 2, 4, 10, 50, 1000}
+}

@@ -511,6 +511,13 @@ func hasAggregate(projs []Projection) bool {
 	return false
 }
 
+// Aggregated reports whether the block's output passes through the
+// executor's aggregation stage (GROUP BY or aggregate projections) — there
+// is no aggregation plan node, so consumers that need to know ask the block.
+func (b *Block) Aggregated() bool {
+	return len(b.GroupBy) > 0 || hasAggregate(b.Projections)
+}
+
 func groupedBy(keys []GroupKey, p Projection) bool {
 	for _, k := range keys {
 		if k.Slot == p.Slot && k.Ordinal == p.Ordinal {

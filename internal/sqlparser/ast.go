@@ -262,9 +262,11 @@ type ShowKind uint8
 
 // SHOW statement kinds.
 const (
-	ShowStats   ShowKind = iota // SHOW STATS: archived histograms
-	ShowQueries                 // SHOW QUERIES [LAST n]: flight-recorder contents
-	ShowMetrics                 // SHOW METRICS: metrics-registry snapshot
+	ShowStats    ShowKind = iota // SHOW STATS: archived histograms
+	ShowQueries                  // SHOW QUERIES [LAST n]: flight-recorder contents
+	ShowMetrics                  // SHOW METRICS: metrics-registry snapshot
+	ShowAccuracy                 // SHOW ACCURACY [FOR <table>]: accuracy-ledger rows
+	ShowDrift                    // SHOW DRIFT: ledger rows currently drifted
 )
 
 // String returns the SQL spelling of the SHOW target.
@@ -276,16 +278,22 @@ func (k ShowKind) String() string {
 		return "QUERIES"
 	case ShowMetrics:
 		return "METRICS"
+	case ShowAccuracy:
+		return "ACCURACY"
+	case ShowDrift:
+		return "DRIFT"
 	default:
 		return "?"
 	}
 }
 
-// ShowStmt is SHOW STATS | SHOW QUERIES [LAST n] | SHOW METRICS — the
-// introspection statements that return engine state as ordinary result sets.
+// ShowStmt is SHOW STATS | SHOW QUERIES [LAST n] | SHOW METRICS |
+// SHOW ACCURACY [FOR <table>] | SHOW DRIFT — the introspection statements
+// that return engine state as ordinary result sets.
 type ShowStmt struct {
-	Kind ShowKind
-	Last int // SHOW QUERIES LAST n; 0 means all retained records
+	Kind  ShowKind
+	Last  int    // SHOW QUERIES LAST n; 0 means all retained records
+	Table string // SHOW ACCURACY FOR <table>; empty means all tables
 }
 
 func (*ShowStmt) stmt() {}

@@ -41,6 +41,7 @@ var keywords = map[string]bool{
 	"EXPLAIN": true, "ANALYZE": true,
 	"SHOW": true, "STATS": true, "QUERIES": true, "METRICS": true,
 	"HISTORY": true, "LAST": true,
+	"ACCURACY": true, "DRIFT": true, "FOR": true,
 }
 
 // lexError reports a scanning problem with its byte offset.

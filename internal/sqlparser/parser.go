@@ -131,7 +131,8 @@ func (p *parser) parseStatement() (Statement, error) {
 }
 
 // parseShow parses the introspection statements: SHOW STATS, SHOW QUERIES
-// [LAST n], SHOW METRICS. The SHOW keyword is still pending.
+// [LAST n], SHOW METRICS, SHOW ACCURACY [FOR <table>], SHOW DRIFT. The
+// SHOW keyword is still pending.
 func (p *parser) parseShow() (Statement, error) {
 	if err := p.expectKeyword("SHOW"); err != nil {
 		return nil, err
@@ -141,6 +142,18 @@ func (p *parser) parseShow() (Statement, error) {
 		return &ShowStmt{Kind: ShowStats}, nil
 	case p.acceptKeyword("METRICS"):
 		return &ShowStmt{Kind: ShowMetrics}, nil
+	case p.acceptKeyword("ACCURACY"):
+		stmt := &ShowStmt{Kind: ShowAccuracy}
+		if p.acceptKeyword("FOR") {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Table = name
+		}
+		return stmt, nil
+	case p.acceptKeyword("DRIFT"):
+		return &ShowStmt{Kind: ShowDrift}, nil
 	case p.acceptKeyword("QUERIES"):
 		stmt := &ShowStmt{Kind: ShowQueries}
 		if p.acceptKeyword("LAST") {
@@ -155,7 +168,7 @@ func (p *parser) parseShow() (Statement, error) {
 		}
 		return stmt, nil
 	default:
-		return nil, p.errorf("expected STATS, QUERIES or METRICS after SHOW, found %q", p.peek().text)
+		return nil, p.errorf("expected STATS, QUERIES, METRICS, ACCURACY or DRIFT after SHOW, found %q", p.peek().text)
 	}
 }
 

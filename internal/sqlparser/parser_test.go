@@ -379,15 +379,20 @@ func BenchmarkParsePaperQuery(b *testing.B) {
 
 func TestParseShowStatements(t *testing.T) {
 	cases := []struct {
-		sql  string
-		kind ShowKind
-		last int
+		sql   string
+		kind  ShowKind
+		last  int
+		table string
 	}{
-		{`SHOW STATS`, ShowStats, 0},
-		{`show stats`, ShowStats, 0},
-		{`SHOW METRICS`, ShowMetrics, 0},
-		{`SHOW QUERIES`, ShowQueries, 0},
-		{`SHOW QUERIES LAST 25`, ShowQueries, 25},
+		{`SHOW STATS`, ShowStats, 0, ""},
+		{`show stats`, ShowStats, 0, ""},
+		{`SHOW METRICS`, ShowMetrics, 0, ""},
+		{`SHOW QUERIES`, ShowQueries, 0, ""},
+		{`SHOW QUERIES LAST 25`, ShowQueries, 25, ""},
+		{`SHOW ACCURACY`, ShowAccuracy, 0, ""},
+		{`SHOW ACCURACY FOR owner`, ShowAccuracy, 0, "owner"},
+		{`show accuracy for owner`, ShowAccuracy, 0, "owner"},
+		{`SHOW DRIFT`, ShowDrift, 0, ""},
 	}
 	for _, c := range cases {
 		stmt, err := Parse(c.sql)
@@ -398,14 +403,15 @@ func TestParseShowStatements(t *testing.T) {
 		if !ok {
 			t.Fatalf("Parse(%q) = %T, want *ShowStmt", c.sql, stmt)
 		}
-		if show.Kind != c.kind || show.Last != c.last {
-			t.Errorf("Parse(%q) = kind %v last %d, want kind %v last %d",
-				c.sql, show.Kind, show.Last, c.kind, c.last)
+		if show.Kind != c.kind || show.Last != c.last || show.Table != c.table {
+			t.Errorf("Parse(%q) = kind %v last %d table %q, want kind %v last %d table %q",
+				c.sql, show.Kind, show.Last, show.Table, c.kind, c.last, c.table)
 		}
 	}
 	for _, bad := range []string{
 		`SHOW`, `SHOW TABLES`, `SHOW QUERIES LAST`, `SHOW QUERIES LAST 0`,
 		`SHOW QUERIES LAST -3`, `SHOW QUERIES LAST x`, `SHOW STATS EXTRA`,
+		`SHOW ACCURACY FOR`, `SHOW ACCURACY owner`, `SHOW DRIFT FOR owner`,
 	} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) succeeded, want error", bad)

@@ -183,6 +183,24 @@ func (d *Dataset) Workload(nQueries int, seed int64, withUpdates bool) []Stateme
 	return out
 }
 
+// CityBoom returns the drift experiment's mid-run distribution shift: one
+// UPDATE relocating the given fraction of owners (an id-range, so every
+// city's population shifts) to the workload's first city. Against a frozen
+// statistics archive this makes every owner(city)/owner(country) estimate
+// systematically wrong while leaving the other tables untouched — the
+// cleanest single-table drift the workload can produce. fraction outside
+// (0, 1] defaults to 0.5.
+func (d *Dataset) CityBoom(fraction float64) Statement {
+	if fraction <= 0 || fraction > 1 {
+		fraction = 0.5
+	}
+	to := cities[0]
+	span := int(float64(d.rows["owner"]) * fraction)
+	return Statement{SQL: fmt.Sprintf(
+		`UPDATE owner SET city = '%s', country = '%s' WHERE id BETWEEN %d AND %d`,
+		to.name, to.country, 0, span)}
+}
+
 // OLTPQueries generates simple indexed point lookups — the workload class
 // the paper's §3.5 warns JITS does not help: "simple OLTP queries usually
 // do not involve a large number of tables, and their running time is

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke bench-columnar debug-smoke drift-smoke overload-smoke serve-smoke fuzz chaos chaos-net check
+.PHONY: all build test race vet bench bench-smoke bench-columnar debug-smoke drift-smoke reopt-smoke overload-smoke serve-smoke fuzz chaos chaos-net check
 
 all: build
 
@@ -49,6 +49,18 @@ bench-columnar:
 # results/drift.csv and run `jitsbench -exp drift`.
 drift-smoke:
 	$(GO) test -count=1 -run 'TestLedger|TestDriftQuick' ./internal/accuracy/ ./internal/experiments/
+
+# Mid-query re-optimization proofs under the race detector: the 220-statement
+# reopt-on/off/serial differential at dop 1 and 4, the forced-misestimate
+# chaos pass (estimates skewed 16x, results must match the fault-free
+# baseline), the stale-plan cache canary, the recorder/ledger feedback
+# cross-check, and the three-mode experiment gate (reopt beats both static
+# baselines on simulated time and terminal q-error). CI runs this target; for
+# the committed numbers see results/reopt.csv and run `jitsbench -exp reopt`.
+reopt-smoke:
+	$(GO) test -race -count=1 \
+		-run 'TestReoptDifferential|TestChaosMisestimateReopt|TestReoptPlanCacheCanary|TestReoptShowQueries|TestFeedbackCrossCheck|TestReoptQuick|TestScaleIf' \
+		./internal/engine/ ./internal/experiments/ ./internal/faultinject/
 
 # End-to-end smoke of the embedded debug server: launches jitsbench with
 # -debug-addr on a free port and validates /metrics, /debug/health,

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	jitsbench [-exp all|table2|table3|fig3|fig4|fig5|fig6|oltp|parallel|columnar|overload|serve|serve-chaos]
+//	jitsbench [-exp all|table2|table3|fig3|fig4|fig5|fig6|oltp|parallel|columnar|overload|drift|reopt|serve|serve-chaos]
 //	          [-scale 0.01] [-queries 840] [-seed 42] [-smax 0.5]
 //	          [-sample 2000] [-csv dir] [-pergroup] [-parallelism 1]
 //	          [-gate 4] [-trace file|-] [-metrics] [-debug-addr host:port]
@@ -60,6 +60,12 @@
 // fault-injected connections and writes serve_chaos.csv. Like "overload",
 // both are wall-clock dependent and excluded from "all".
 //
+// The JITS_FAULTS environment variable arms deterministic fault injection
+// for experiment runs using the same spec syntax (internal/faultinject);
+// e.g. JITS_FAULTS="estimator.misestimate:every=7,factor=16" skews every
+// 7th cardinality estimate 16x — a chaos rehearsal for -exp reopt, which
+// must still cross-check identical results in every mode.
+//
 // -debug-addr starts the embedded debug HTTP server (see
 // internal/debugserver) on the given address (port 0 picks a free port; the
 // bound address is printed as "debug server listening on ..."). It implies
@@ -84,12 +90,13 @@ import (
 
 	"repro/internal/debugserver"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, table2, table3, fig3, fig4, fig5, fig6, oltp, parallel, columnar, overload, drift (columnar, overload and drift are excluded from all)")
+		exp      = flag.String("exp", "all", "experiment: all, table2, table3, fig3, fig4, fig5, fig6, oltp, parallel, columnar, overload, drift, reopt (columnar, overload, drift and reopt are excluded from all)")
 		scale    = flag.Float64("scale", 0.01, "dataset scale factor (1.0 = paper sizes)")
 		queries  = flag.Int("queries", 840, "workload query count")
 		seed     = flag.Int64("seed", 42, "random seed")
@@ -113,6 +120,17 @@ func main() {
 		chunksF  = flag.String("chunks", "", "comma-separated vectorized chunk sizes for -exp columnar (default 256,1024,4096,16384; the rowwise baseline always runs first)")
 	)
 	flag.Parse()
+	// JITS_FAULTS arms process-wide fault injection for experiment runs —
+	// e.g. JITS_FAULTS="estimator.misestimate:every=7,factor=16" skews every
+	// 7th cardinality estimate 16x, a chaos rehearsal for -exp reopt.
+	// (-serve has its own -net-faults flag for the conn.* points.)
+	if spec := os.Getenv("JITS_FAULTS"); spec != "" {
+		if err := faultinject.ArmFromSpec(spec); err != nil {
+			fmt.Fprintln(os.Stderr, "jitsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("jitsbench: faults armed: %s\n", spec)
+	}
 	csvDir = *csvDirF
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
@@ -223,6 +241,9 @@ func main() {
 	if *exp == "drift" { // opt-in: replays the stream twice (warm + shifted)
 		run("drift", func() error { return drift(opts) })
 	}
+	if *exp == "reopt" { // opt-in: replays the stream once per mode (three modes)
+		run("reopt", func() error { return reopt(opts) })
+	}
 	if *exp == "serve" { // opt-in for the same reason: real TCP wall clock
 		run("serve", func() error { return serveExperiment(opts, *sessF) })
 	}
@@ -258,6 +279,34 @@ func drift(opts experiments.Options) error {
 	fmt.Println("expected shape: the warm phase ends with nothing drifted; after the city")
 	fmt.Println("boom only the shifted table's statistics cross into drifted — churn marks")
 	fmt.Println("them aging, stale-estimate error factors push the CUSUM past threshold")
+	return nil
+}
+
+func reopt(opts experiments.Options) error {
+	header("Re-optimization: recovering from bad plans at pipeline breakers")
+	rep, err := experiments.Reopt(opts, experiments.ReoptOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %8s %12s %12s %12s %14s %14s %8s\n",
+		"mode", "queries", "compile (s)", "exec (s)", "total (s)", "mean worst q", "max worst q", "reopts")
+	var csvRows [][]string
+	for _, m := range rep.Modes {
+		fmt.Printf("%-8s %8d %12.4f %12.4f %12.4f %14.3f %14.1f %8d\n",
+			m.Mode, m.Queries, m.CompileSeconds, m.ExecSeconds, m.TotalSeconds,
+			m.MeanWorstQError, m.MaxWorstQError, m.Reopts)
+		csvRows = append(csvRows, []string{
+			m.Mode, strconv.Itoa(m.Queries),
+			f64(m.CompileSeconds), f64(m.ExecSeconds), f64(m.TotalSeconds),
+			f64(m.MeanWorstQError), f64(m.MaxWorstQError), strconv.Itoa(m.Reopts),
+		})
+	}
+	writeCSV("reopt.csv",
+		[]string{"mode", "queries", "compile_s", "exec_s", "total_s", "mean_worst_qerror", "max_worst_qerror", "reopts"},
+		csvRows)
+	fmt.Println("\nexpected shape: reopt finishes the stream with less simulated work and a")
+	fmt.Println("lower terminal q-error than both static baselines — it repairs the catalog")
+	fmt.Println("plans mid-flight instead of paying JITS's compile-time sampling")
 	return nil
 }
 

@@ -111,6 +111,13 @@ type Config struct {
 	// columnar storage layer for tables created by this engine; 0 keeps
 	// storage.DefaultChunkSize. Benchmarks sweep it.
 	StorageChunkSize int
+	// Reopt arms checkpointed mid-query re-optimization: at pipeline
+	// breakers (join-input materializations) the executor compares observed
+	// cardinality against the plan's estimate, and when the q-error exceeds
+	// the threshold the engine re-plans the unexecuted remainder with the
+	// materialized intermediates as exact-cardinality leaves. The zero value
+	// disables it; SetReopt retunes a live engine.
+	Reopt ReoptConfig
 	// Accuracy configures the estimator-accuracy ledger (SHOW ACCURACY /
 	// SHOW DRIFT, /debug/accuracy): per-statistic EWMA q-error, DML churn
 	// and CUSUM drift detection over the feedback stream. The zero value
@@ -154,6 +161,9 @@ type Result struct {
 	// PlanCacheHit reports that this statement reused a compiled plan from
 	// the plan cache, skipping parse/JITS-prepare/optimize entirely.
 	PlanCacheHit bool
+	// Reopts counts the mid-query re-optimizations this statement went
+	// through; Plan renders the plan that actually completed.
+	Reopts int
 }
 
 // Engine is the database instance.
@@ -174,6 +184,7 @@ type Engine struct {
 	governor     *govern.Governor
 	parallelism  int
 	rowOriented  bool
+	reoptCfg     ReoptConfig
 	stmtTimeout  time.Duration
 	closed       atomic.Bool
 	// planCache is nil when Config.PlanCacheSize is 0 (cache disabled).
@@ -239,6 +250,7 @@ func New(cfg Config) *Engine {
 		governor:     governor,
 		parallelism:  cfg.Parallelism,
 		rowOriented:  cfg.RowOrientedExec,
+		reoptCfg:     cfg.Reopt,
 		stmtTimeout:  cfg.StatementTimeout,
 		planCache:    plancache.New(cfg.PlanCacheSize),
 	}
@@ -460,7 +472,7 @@ func (e *Engine) ExecWithContext(ctx context.Context, sql string, opts ExecOptio
 					rec.ArchiveEpoch = epoch
 				}
 				stmtSelect.Inc()
-				res, err := e.execCachedSelect(ctx, ent, dop, ts, rec, mem)
+				res, err := e.execCachedSelect(ctx, key, ent, dop, ts, rec, mem)
 				wall := time.Since(start)
 				govern.ObserveStatementPeak(mem.Peak())
 				if rec != nil {
@@ -856,17 +868,24 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 	}
 
 	execSpan := e.tracer.Start(ts, tracing.PhaseExecute)
-	rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Ctx: ctx, Parallelism: dop, Stats: stats, Mem: mem, RowOriented: e.rowOriented}
-	res, err := executor.Execute(blk, plan, rt)
+	reoptState := e.newReoptState(blk)
+	rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Ctx: ctx, Parallelism: dop, Stats: stats, Mem: mem, RowOriented: e.rowOriented, Reopt: reoptState}
+	res, plan, reopts, err := e.executeWithReopt(blk, plan, rt, octx, reoptState, ts, rec, nil)
 	if err != nil {
 		execSpan.End()
 		return nil, err
 	}
 	execSpan.Attr("rows", len(res.Rows)).Attr("units", fmt.Sprintf("%.0f", execMeter.Units())).End()
+	if rec != nil {
+		rec.Reopts = reopts
+	}
 
 	// Feedback, reactive corrections and migration cadence — shared with the
-	// plan-cache hit path.
-	e.postExecute(ts, blk, append(subActuals, res.Actuals...), res.Actuals, rec)
+	// plan-cache hit path. Superseded attempts' scan feedback (captured at
+	// their trigger points) merges with the final attempt's: the subtrees
+	// that produced it never re-executed, so the union double-counts nothing.
+	actuals := mergedActuals(reoptState, res.Actuals)
+	e.postExecute(ts, blk, append(subActuals, actuals...), actuals, rec)
 	e.tracef("q%d plan rows=%.1f cost=%.0f exec=%.4fs compile=%.4fs",
 		ts, plan.Rows(), plan.Cost(), execMeter.Seconds(), compileMeter.Seconds())
 
@@ -886,6 +905,8 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 				case *optimizer.Scan:
 					op.Op = t.Describe()
 				case *optimizer.Join:
+					op.Op = t.Describe()
+				case *optimizer.Materialized:
 					op.Op = t.Describe()
 				}
 				if st, ok := stats.Lookup(n); ok {
@@ -922,7 +943,11 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 	// IN-subqueries are excluded: semi-join lowering folded the *executed*
 	// inner result into the outer block's predicates above, so their plan
 	// embeds data, not just shape, and must be recompiled per execution.
-	if cacheKey != "" && len(blk.SemiJoins) == 0 {
+	// Re-optimized statements are excluded too: the completed plan embeds
+	// Materialized leaves that resolve against this statement's checkpoint
+	// state, and the superseded original plan was just proven wrong — caching
+	// either would poison the cache.
+	if cacheKey != "" && len(blk.SemiJoins) == 0 && reopts == 0 {
 		e.planCache.Put(cacheKey, cacheEpoch, &cachedPlan{blk: blk, plan: plan, prep: prep})
 	}
 
@@ -932,6 +957,7 @@ func (e *Engine) execSelect(ctx context.Context, stmt *sqlparser.SelectStmt, sql
 		Plan:    renderPlan(nil),
 		Metrics: buildMetrics(&compileMeter, &execMeter),
 		Prepare: prep,
+		Reopts:  reopts,
 	}, nil
 }
 

@@ -66,7 +66,7 @@ func (e *Engine) execShowStats(ts int64) (*Result, error) {
 // first. last ≤ 0 returns everything in the ring.
 func (e *Engine) execShowQueries(last int) (*Result, error) {
 	cols := []string{"qid", "kind", "sql", "rows", "wall_ms", "compile_s", "exec_s",
-		"worst_qerror", "sampled_tables", "archive_hits", "archive_misses", "degraded", "error", "epoch"}
+		"worst_qerror", "sampled_tables", "archive_hits", "archive_misses", "degraded", "reopts", "error", "epoch"}
 	recs := e.recorder.Last(last)
 	rows := make([][]value.Datum, 0, len(recs))
 	for _, r := range recs {
@@ -97,6 +97,7 @@ func (e *Engine) execShowQueries(last int) (*Result, error) {
 			value.NewInt(int64(r.ArchiveHits)),
 			value.NewInt(int64(r.ArchiveMisses)),
 			value.NewInt(degraded),
+			value.NewInt(int64(r.Reopts)),
 			value.NewString(r.Err),
 			value.NewInt(int64(r.ArchiveEpoch)),
 		})

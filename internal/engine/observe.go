@@ -51,6 +51,24 @@ var (
 	qerrorScan = qerrorHist.With("scan")
 	qerrorJoin = qerrorHist.With("join")
 	qerrorAgg  = qerrorHist.With("agg")
+
+	// Mid-query re-optimization instruments: how many pipeline-breaker
+	// checkpoints statements evaluated, how often one tripped a re-plan (by
+	// the operator kind whose estimate was wrong), and how long re-entrant
+	// planning took.
+	reoptCheckpoints = metrics.Default().Counter(
+		"engine_reopt_checkpoints_total",
+		"Pipeline-breaker checkpoints evaluated for mid-query re-optimization.")
+	reoptTriggerCount = metrics.Default().CounterVec(
+		"engine_reopt_triggers_total",
+		"Mid-query re-optimizations triggered, by the misestimated operator kind.",
+		"cause")
+	reoptTriggerScan = reoptTriggerCount.With("scan")
+	reoptTriggerJoin = reoptTriggerCount.With("join")
+	reoptWall        = metrics.Default().Histogram(
+		"engine_reopt_wall_seconds",
+		"Wall-clock time of one mid-query re-planning pass.",
+		metrics.LatencyBuckets())
 )
 
 // observeAggQError records the "agg" q-error sample for aggregated blocks:

@@ -34,31 +34,54 @@ type cachedPlan struct {
 
 // execCachedSelect executes a cached compiled plan: the execution,
 // feedback, and flight-recorder tail of execSelect without any of its
-// compilation. The returned Result reports zero compile cost — that is the
-// amortization the cache buys — and carries the compiling statement's
-// PrepareReport so degradation flags are stable across reuse.
-func (e *Engine) execCachedSelect(ctx context.Context, ent *cachedPlan, dop int, ts int64, rec *flightrec.Record, mem *govern.Reservation) (*Result, error) {
-	var execMeter costmodel.Meter
+// compilation. The returned Result normally reports zero compile cost —
+// that is the amortization the cache buys — and carries the compiling
+// statement's PrepareReport so degradation flags are stable across reuse.
+//
+// A cached plan can still be *wrong* — compiled against estimates the data
+// has since outgrown within one epoch, or simply misestimated from the
+// start — so re-optimization checkpoints arm here exactly as on the cold
+// path. The re-planning estimator is catalog-only (no JITS sampling ran for
+// this execution), which is fine: the materialized intermediates carry
+// exact cardinalities, and they are what re-planning pivots on. The first
+// trigger also evicts the cache entry under key: the plan just proved
+// itself stale, and the next execution must recompile rather than re-walk
+// the same trap.
+func (e *Engine) execCachedSelect(ctx context.Context, key string, ent *cachedPlan, dop int, ts int64, rec *flightrec.Record, mem *govern.Reservation) (*Result, error) {
+	var compileMeter, execMeter costmodel.Meter
 	var stats *executor.ExecStats
 	if rec != nil {
 		stats = executor.NewExecStats()
 	}
 	execSpan := e.tracer.Start(ts, tracing.PhaseExecute)
-	rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Ctx: ctx, Parallelism: dop, Stats: stats, Mem: mem}
-	res, err := executor.Execute(ent.blk, ent.plan, rt)
+	reoptState := e.newReoptState(ent.blk)
+	rt := &executor.Runtime{DB: e.db, Indexes: e.indexes, Weights: e.weights, Meter: &execMeter, Ctx: ctx, Parallelism: dop, Stats: stats, Mem: mem, Reopt: reoptState}
+	octx := &optimizer.Context{
+		Est:     &optimizer.Estimator{Cat: e.cat},
+		Indexes: e.indexes,
+		Weights: e.weights,
+		Meter:   &compileMeter,
+	}
+	res, plan, reopts, err := e.executeWithReopt(ent.blk, ent.plan, rt, octx, reoptState, ts, rec, func() {
+		e.planCache.Remove(key)
+	})
 	if err != nil {
 		execSpan.End()
 		return nil, err
 	}
 	execSpan.Attr("rows", len(res.Rows)).Attr("units", fmt.Sprintf("%.0f", execMeter.Units())).Attr("plan_cache", "hit").End()
+	if rec != nil {
+		rec.Reopts = reopts
+	}
 
-	e.postExecute(ts, ent.blk, res.Actuals, res.Actuals, rec)
+	actuals := mergedActuals(reoptState, res.Actuals)
+	e.postExecute(ts, ent.blk, actuals, actuals, rec)
 	e.tracef("q%d plan rows=%.1f cost=%.0f exec=%.4fs plan_cache=hit",
-		ts, ent.plan.Rows(), ent.plan.Cost(), execMeter.Seconds())
+		ts, plan.Rows(), plan.Cost(), execMeter.Seconds())
 
 	if rec != nil {
 		rec.PlanCacheHit = true
-		rec.Plan = optimizer.ExplainAnnotated(ent.plan, dop, analyzeAnnotator(stats, ent.prep))
+		rec.Plan = optimizer.ExplainAnnotated(plan, dop, analyzeAnnotator(stats, ent.prep))
 		if ent.prep != nil {
 			rec.Degraded = ent.prep.Degraded
 			for _, tr := range ent.prep.Tables {
@@ -74,12 +97,14 @@ func (e *Engine) execCachedSelect(ctx context.Context, ent *cachedPlan, dop int,
 				}
 			}
 		}
-		optimizer.Walk(ent.plan, func(n optimizer.Node) {
+		optimizer.Walk(plan, func(n optimizer.Node) {
 			op := flightrec.OperatorStats{EstRows: n.Rows()}
 			switch t := n.(type) {
 			case *optimizer.Scan:
 				op.Op = t.Describe()
 			case *optimizer.Join:
+				op.Op = t.Describe()
+			case *optimizer.Materialized:
 				op.Op = t.Describe()
 			}
 			if st, ok := stats.Lookup(n); ok {
@@ -97,16 +122,17 @@ func (e *Engine) execCachedSelect(ctx context.Context, ent *cachedPlan, dop int,
 			}
 			rec.Operators = append(rec.Operators, op)
 		})
-		observeAggQError(ent.blk, ent.plan, stats)
+		observeAggQError(ent.blk, plan, stats)
 	}
 
 	return &Result{
 		Columns:      res.Columns,
 		Rows:         res.Rows,
-		Plan:         optimizer.ExplainAnnotated(ent.plan, dop, nil),
-		Metrics:      buildMetrics(nil, &execMeter),
+		Plan:         optimizer.ExplainAnnotated(plan, dop, nil),
+		Metrics:      buildMetrics(&compileMeter, &execMeter),
 		Prepare:      ent.prep,
 		PlanCacheHit: true,
+		Reopts:       reopts,
 	}, nil
 }
 

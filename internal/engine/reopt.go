@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/flightrec"
+	"repro/internal/optimizer"
+	"repro/internal/qgm"
+	"repro/internal/tracing"
+)
+
+// Mid-query re-optimization (engine side). The executor checkpoints every
+// join-input materialization; when one observes a cardinality whose q-error
+// against the plan's estimate exceeds the threshold, execution unwinds with
+// *executor.ReoptTriggered and the loop below re-enters the optimizer over
+// the unexecuted remainder — materialized intermediates become exact-
+// cardinality leaves (optimizer.Materialized) — then resumes on the spliced
+// plan. Results are identical by construction: only the join order and
+// operator choices of nodes that have not produced output yet may change.
+
+// Reopt defaults selected by zero/negative ReoptConfig fields.
+const (
+	// DefaultReoptQErrorThreshold is the q-error a checkpoint must exceed to
+	// trigger re-planning. 10 is far above the noise of healthy estimates
+	// (the paper's JITS plans sit near 1) but well below the 100x-1000x
+	// blowups of correlated-predicate misestimates.
+	DefaultReoptQErrorThreshold = 10.0
+	// DefaultMaxReopts caps re-planning attempts per statement.
+	DefaultMaxReopts = 2
+)
+
+// ReoptConfig arms checkpointed mid-query re-optimization.
+type ReoptConfig struct {
+	// Enabled arms checkpoints at pipeline breakers (join-input
+	// materializations). Statements with LIMIT but no deterministic total
+	// order are exempt: which rows survive such a limit is plan-dependent,
+	// and re-optimization guarantees identical results.
+	Enabled bool
+	// QErrorThreshold is the q-error above which a checkpoint re-plans;
+	// values <= 0 select DefaultReoptQErrorThreshold.
+	QErrorThreshold float64
+	// MaxReopts caps re-planning attempts per statement; values <= 0 select
+	// DefaultMaxReopts.
+	MaxReopts int
+}
+
+func (c ReoptConfig) withDefaults() ReoptConfig {
+	if c.QErrorThreshold <= 0 {
+		c.QErrorThreshold = DefaultReoptQErrorThreshold
+	}
+	if c.MaxReopts <= 0 {
+		c.MaxReopts = DefaultMaxReopts
+	}
+	return c
+}
+
+// SetReopt replaces the engine's re-optimization configuration at runtime
+// (experiments and tests toggle it between statements).
+func (e *Engine) SetReopt(cfg ReoptConfig) {
+	e.mu.Lock()
+	e.reoptCfg = cfg
+	e.mu.Unlock()
+}
+
+// newReoptState returns a fresh per-statement checkpoint state, or nil when
+// re-optimization is off or the block's LIMIT makes row identity
+// plan-dependent (LIMIT without ORDER BY returns whichever rows the plan
+// reached first — re-planning mid-query would change the answer; LIMIT with
+// ORDER BY still breaks ties by plan-produced row order).
+func (e *Engine) newReoptState(blk *qgm.Block) *executor.ReoptState {
+	e.mu.Lock()
+	cfg := e.reoptCfg
+	e.mu.Unlock()
+	if !cfg.Enabled || blk.Limit >= 0 {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	return executor.NewReoptState(cfg.QErrorThreshold, cfg.MaxReopts)
+}
+
+// executeWithReopt runs plan to completion, re-entering the optimizer each
+// time a checkpoint triggers. It returns the final result, the plan that
+// actually completed (re-planned or original), and the trigger count.
+// onFirstTrigger runs once before the first re-plan — the cached-statement
+// path evicts the superseded cache entry there. A nil state degenerates to
+// one plain executor.Execute call.
+func (e *Engine) executeWithReopt(blk *qgm.Block, plan optimizer.Node, rt *executor.Runtime, octx *optimizer.Context, state *executor.ReoptState, ts int64, rec *flightrec.Record, onFirstTrigger func()) (*executor.Result, optimizer.Node, int, error) {
+	reopts := 0
+	for {
+		res, err := executor.Execute(blk, plan, rt)
+		var trig *executor.ReoptTriggered
+		if err == nil || state == nil || !errors.As(err, &trig) {
+			if state != nil {
+				reoptCheckpoints.Add(float64(state.Checkpoints()))
+			}
+			return res, plan, reopts, err
+		}
+
+		reopts++
+		switch trig.Cause {
+		case "scan":
+			reoptTriggerScan.Inc()
+		default:
+			reoptTriggerJoin.Inc()
+		}
+		if reopts == 1 && onFirstTrigger != nil {
+			onFirstTrigger()
+		}
+		if rec != nil {
+			rec.Annotations = append(rec.Annotations, fmt.Sprintf(
+				"reopt: %s est=%.0f act=%.0f qerror=%.1f",
+				trig.NodeDesc, trig.EstRows, trig.ActRows, trig.QError))
+		}
+		e.tracef("q%d reopt #%d at %s est=%.0f act=%.0f qerror=%.1f",
+			ts, reopts, trig.NodeDesc, trig.EstRows, trig.ActRows, trig.QError)
+
+		start := time.Now()
+		span := e.tracer.Start(ts, tracing.PhaseReoptPlan)
+		newPlan, rerr := optimizer.ReOptimize(blk, octx, state.Leaves())
+		span.Attr("attempt", reopts).End()
+		reoptWall.Observe(time.Since(start).Seconds())
+		if rerr != nil {
+			// Re-planning failed — run the current plan to completion rather
+			// than failing a statement whose only problem is a bad estimate.
+			e.tracef("q%d reopt #%d failed: %v (continuing current plan)", ts, reopts, rerr)
+			state.DisableTriggers()
+			continue
+		}
+		plan = newPlan
+	}
+}
+
+// mergedActuals combines the scan feedback captured from superseded
+// execution attempts with the final attempt's actuals. The two sets are
+// disjoint — a subtree whose actuals were captured is materialized in the
+// state and never re-executes — so this is a union, sorted back into the
+// slot order feedback consumers expect.
+func mergedActuals(state *executor.ReoptState, final []executor.ScanActual) []executor.ScanActual {
+	if state == nil || len(state.CapturedActuals()) == 0 {
+		return final
+	}
+	out := append(append([]executor.ScanActual(nil), state.CapturedActuals()...), final...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Slot < out[j].Slot })
+	return out
+}

@@ -63,6 +63,13 @@ type Runtime struct {
 	// wrapped govern.ErrMemoryBudget when the budget is exhausted. Nil (the
 	// default) disables accounting.
 	Mem *govern.Reservation
+	// Reopt, when non-nil, arms mid-query re-optimization: join-input
+	// materializations become checkpoints that register their relations in
+	// the state and may unwind execution with *ReoptTriggered when the
+	// observed cardinality blows past the plan's estimate. The same state
+	// resolves optimizer.Materialized leaves on re-planned attempts. Nil
+	// (the default) costs one pointer check per pipeline breaker.
+	Reopt *ReoptState
 	// RowOriented forces the legacy row-at-a-time scan and aggregation paths
 	// instead of the vectorized chunk kernels. Results are identical and the
 	// meter charges are identical; only wall-clock differs. It exists as the
@@ -293,6 +300,8 @@ func (ex *executor) dispatch(node optimizer.Node) (*relation, error) {
 		return ex.runScan(n)
 	case *optimizer.Join:
 		return ex.runJoin(n)
+	case *optimizer.Materialized:
+		return ex.runMaterialized(n)
 	default:
 		return nil, fmt.Errorf("executor: unknown plan node %T", node)
 	}
@@ -531,8 +540,14 @@ func (ex *executor) runHashJoin(n *optimizer.Join) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ex.checkpoint(n.Left, left); err != nil {
+		return nil, err
+	}
 	right, err := ex.run(n.Right)
 	if err != nil {
+		return nil, err
+	}
+	if err := ex.checkpoint(n.Right, right); err != nil {
 		return nil, err
 	}
 	w := ex.rt.Weights
@@ -602,6 +617,9 @@ func (ex *executor) runIndexNLJoin(n *optimizer.Join) (*relation, error) {
 	}
 	left, err := ex.run(n.Left)
 	if err != nil {
+		return nil, err
+	}
+	if err := ex.checkpoint(n.Left, left); err != nil {
 		return nil, err
 	}
 	tbl, err := ex.baseTable(inner.Table)
@@ -723,8 +741,14 @@ func (ex *executor) runMergeJoin(n *optimizer.Join) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ex.checkpoint(n.Left, left); err != nil {
+		return nil, err
+	}
 	right, err := ex.run(n.Right)
 	if err != nil {
+		return nil, err
+	}
+	if err := ex.checkpoint(n.Right, right); err != nil {
 		return nil, err
 	}
 	w := ex.rt.Weights
@@ -805,8 +829,14 @@ func (ex *executor) runNestedLoop(n *optimizer.Join) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ex.checkpoint(n.Left, left); err != nil {
+		return nil, err
+	}
 	right, err := ex.run(n.Right)
 	if err != nil {
+		return nil, err
+	}
+	if err := ex.checkpoint(n.Right, right); err != nil {
 		return nil, err
 	}
 	w := ex.rt.Weights

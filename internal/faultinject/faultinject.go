@@ -72,13 +72,25 @@ const (
 	// ConnReset severs a wrapped connection before a Read/Write — the moral
 	// equivalent of ECONNRESET. In-flight statements become in-doubt.
 	ConnReset Point = "conn.reset"
+	// EstimatorMisestimate skews optimizer cardinality estimates by a
+	// seeded multiplicative factor (alternating over- and under-estimation
+	// by fire ordinal), without ever touching results — the deterministic
+	// "planner is wrong" fault that forces mid-query re-optimization on
+	// demand in chaos tests.
+	EstimatorMisestimate Point = "estimator.misestimate"
 )
 
 // Points returns all registered fault points in deterministic order.
 func Points() []Point {
 	return []Point{StorageScan, SamplingRows, WorkerPanic, MorselLatency, ArchiveSave, ArchiveLoad, GovernPressure,
-		ConnLatency, ConnStall, ConnTornWrite, ConnReset}
+		ConnLatency, ConnStall, ConnTornWrite, ConnReset, EstimatorMisestimate}
 }
+
+// DefaultMisestimateFactor is the multiplicative skew EstimatorMisestimate
+// applies when the armed Spec leaves Factor unset. 16x is comfortably past
+// any sane re-optimization threshold while staying in a numerically boring
+// range.
+const DefaultMisestimateFactor = 16
 
 // Spec is one point's firing schedule: the probe fires on every Every-th
 // check, starting after Offset checks, at most Limit times.
@@ -93,6 +105,9 @@ type Spec struct {
 	Limit int
 	// Latency is the sleep duration for MorselLatency (ignored elsewhere).
 	Latency time.Duration
+	// Factor is the multiplicative skew for EstimatorMisestimate (ignored
+	// elsewhere); values <= 1 select DefaultMisestimateFactor.
+	Factor float64
 }
 
 // SeedSpec derives a Spec with period every and a deterministic seed-based
@@ -246,6 +261,26 @@ func (r *Registry) CorruptIf(p Point, b []byte) []byte {
 	return out
 }
 
+// ScaleIf records one check at p and, when it fires, returns v skewed by
+// the armed Factor — multiplied on odd fire ordinals, divided on even ones,
+// so a stream of checks sees both over- and under-estimates on a
+// deterministic schedule. When the point does not fire, v is returned
+// unchanged.
+func (r *Registry) ScaleIf(p Point, v float64) float64 {
+	fired, n, spec := r.fire(p)
+	if !fired {
+		return v
+	}
+	f := spec.Factor
+	if f <= 1 {
+		f = DefaultMisestimateFactor
+	}
+	if n%2 == 0 {
+		return v / f
+	}
+	return v * f
+}
+
 // Fired returns how many times p has fired since it was armed.
 func (r *Registry) Fired(p Point) int64 {
 	r.mu.Lock()
@@ -328,6 +363,12 @@ func (r *Registry) ArmFromSpec(spec string) error {
 						return fmt.Errorf("faultinject: bad latency=%q: %w", v, err)
 					}
 					s.Latency = d
+				case "factor":
+					f, err := strconv.ParseFloat(v, 64)
+					if err != nil {
+						return fmt.Errorf("faultinject: bad factor=%q: %w", v, err)
+					}
+					s.Factor = f
 				default:
 					return fmt.Errorf("faultinject: unknown option %q in %q", k, part)
 				}
@@ -362,6 +403,9 @@ func SleepIf(p Point) { defaultRegistry.SleepIf(p) }
 
 // CorruptIf probes a corruption point on the default registry.
 func CorruptIf(p Point, b []byte) []byte { return defaultRegistry.CorruptIf(p, b) }
+
+// ScaleIf probes a misestimation point on the default registry.
+func ScaleIf(p Point, v float64) float64 { return defaultRegistry.ScaleIf(p, v) }
 
 // Fired reports a point's fire count on the default registry.
 func Fired(p Point) int64 { return defaultRegistry.Fired(p) }

@@ -148,6 +148,51 @@ func TestSleepIf(t *testing.T) {
 	}
 }
 
+func TestScaleIf(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Arm(EstimatorMisestimate, Spec{Every: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Fire ordinals alternate: first fire (n=1, odd) scales up, second
+	// (n=2, even) scales down, with the default factor when Factor is unset.
+	if got := r.ScaleIf(EstimatorMisestimate, 100); got != 100*DefaultMisestimateFactor {
+		t.Fatalf("first fire = %v, want %v", got, 100*float64(DefaultMisestimateFactor))
+	}
+	if got := r.ScaleIf(EstimatorMisestimate, 100); got != 100.0/DefaultMisestimateFactor {
+		t.Fatalf("second fire = %v, want %v", got, 100.0/DefaultMisestimateFactor)
+	}
+	if got := r.Fired(EstimatorMisestimate); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+}
+
+func TestScaleIfCustomFactorAndSchedule(t *testing.T) {
+	r := NewRegistry()
+	if err := r.ArmFromSpec("estimator.misestimate:every=2,factor=4"); err != nil {
+		t.Fatal(err)
+	}
+	// every=2, offset=0 fires at checks 1, 3, ...; check 2 passes through.
+	if got := r.ScaleIf(EstimatorMisestimate, 10); got != 40 {
+		t.Fatalf("check 1 = %v, want 40", got)
+	}
+	if got := r.ScaleIf(EstimatorMisestimate, 10); got != 10 {
+		t.Fatalf("check 2 = %v, want 10 (no fire)", got)
+	}
+	if got := r.ScaleIf(EstimatorMisestimate, 10); got != 2.5 {
+		t.Fatalf("check 3 = %v, want 2.5", got)
+	}
+	if err := NewRegistry().ArmFromSpec("estimator.misestimate:factor=x"); err == nil {
+		t.Fatal("bad factor: expected error")
+	}
+}
+
+func TestScaleIfUnarmed(t *testing.T) {
+	r := NewRegistry()
+	if got := r.ScaleIf(EstimatorMisestimate, 42); got != 42 {
+		t.Fatalf("unarmed ScaleIf = %v, want 42", got)
+	}
+}
+
 func TestSeedSpecDeterministic(t *testing.T) {
 	a := SeedSpec(99, 7)
 	b := SeedSpec(99, 7)

@@ -102,6 +102,12 @@ type Record struct {
 	// the engine's plan cache (no parse/JITS-prepare/optimize phases ran).
 	PlanCacheHit bool `json:"plan_cache_hit,omitempty"`
 
+	// Reopts counts the mid-query re-optimizations this statement went
+	// through: checkpoints whose observed cardinality blew past the plan's
+	// estimate badly enough that the engine re-planned the unexecuted
+	// remainder. Per-checkpoint details ride Annotations ("reopt: ...").
+	Reopts int `json:"reopts,omitempty"`
+
 	// ArchiveEpoch is the plan-cache epoch counter at the moment the
 	// statement began: the archive/data generation it was planned against.
 	// A drifted-plan post-mortem correlates this against the current epoch

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/catalog"
+	"repro/internal/faultinject"
 	"repro/internal/histogram"
 	"repro/internal/qgm"
 	"repro/internal/value"
@@ -333,7 +334,9 @@ func (e *Estimator) JoinSelectivity(jp qgm.JoinPredicate, leftTable, rightTable 
 	if m < 1 {
 		m = 1
 	}
-	return 1 / m
+	// Chaos probe: a seeded multiplicative skew on the join estimate, so
+	// tests can force the planner wrong without touching any statistics.
+	return faultinject.ScaleIf(faultinject.EstimatorMisestimate, 1/m)
 }
 
 func (e *Estimator) columnNDV(table, column string) float64 {

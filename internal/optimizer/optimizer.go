@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/costmodel"
+	"repro/internal/faultinject"
 	"repro/internal/index"
 	"repro/internal/qgm"
 )
@@ -38,17 +39,11 @@ func Optimize(blk *qgm.Block, ctx *Context) (Node, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("optimizer: block has no tables")
 	}
-	scans := make([]*Scan, n)
+	leaves := make([]Node, n)
 	for slot := range blk.Tables {
-		scans[slot] = ctx.bestAccessPath(blk, slot)
+		leaves[slot] = ctx.bestAccessPath(blk, slot)
 	}
-	if n == 1 {
-		return scans[0], nil
-	}
-	if n <= dpMaxTables {
-		return ctx.dpEnumerate(blk, scans)
-	}
-	return ctx.greedyEnumerate(blk, scans)
+	return ctx.enumerate(blk, leaves)
 }
 
 // bestAccessPath picks the cheaper of a full table scan and the best index
@@ -60,6 +55,10 @@ func (ctx *Context) bestAccessPath(blk *qgm.Block, slot int) *Scan {
 	card, _ := ctx.Est.TableCard(ti.Table)
 	est := ctx.Est.EstimateGroup(ti.Table, preds)
 	outRows := card * est.Sel
+	// Chaos probe: skew only the plan's output estimate, never the trace's
+	// EstSel — the feedback archive must keep learning true selectivities
+	// while the plan itself is deliberately wrong.
+	outRows = faultinject.ScaleIf(faultinject.EstimatorMisestimate, outRows)
 	w := ctx.Weights
 
 	trace := &Trace{
@@ -216,14 +215,30 @@ func (ctx *Context) buildJoin(blk *qgm.Block, left, right Node, preds []qgm.Join
 	return best
 }
 
-// dpEnumerate performs classic bottom-up dynamic programming over slot
+// enumerate picks the join-enumeration strategy by leaf count. Leaves are
+// arbitrary plan nodes — base-table scans for initial planning, plus
+// materialized intermediates when re-optimizing mid-query.
+func (ctx *Context) enumerate(blk *qgm.Block, leaves []Node) (Node, error) {
+	if len(leaves) == 1 {
+		return leaves[0], nil
+	}
+	if len(leaves) <= dpMaxTables {
+		return ctx.dpEnumerate(blk, leaves)
+	}
+	return ctx.greedyEnumerate(blk, leaves)
+}
+
+// dpEnumerate performs classic bottom-up dynamic programming over leaf
 // subsets, preferring connected sub-plans and falling back to cartesian
-// products only when a subset has no connected partition.
-func (ctx *Context) dpEnumerate(blk *qgm.Block, scans []*Scan) (Node, error) {
-	n := len(scans)
+// products only when a subset has no connected partition. Masks index
+// leaves, not table slots: a leaf may cover several slots (a materialized
+// intermediate), and predsBetween only ever needs the slot *sets* each
+// subtree produces.
+func (ctx *Context) dpEnumerate(blk *qgm.Block, leaves []Node) (Node, error) {
+	n := len(leaves)
 	best := make([]Node, 1<<n)
-	for slot, s := range scans {
-		best[1<<slot] = s
+	for i, l := range leaves {
+		best[1<<i] = l
 	}
 	fullMask := (1 << n) - 1
 	for mask := 1; mask <= fullMask; mask++ {
@@ -262,11 +277,8 @@ func (ctx *Context) dpEnumerate(blk *qgm.Block, scans []*Scan) (Node, error) {
 
 // greedyEnumerate joins the cheapest connected pair repeatedly — used for
 // blocks beyond the DP budget.
-func (ctx *Context) greedyEnumerate(blk *qgm.Block, scans []*Scan) (Node, error) {
-	nodes := make([]Node, len(scans))
-	for i, s := range scans {
-		nodes[i] = s
-	}
+func (ctx *Context) greedyEnumerate(blk *qgm.Block, leaves []Node) (Node, error) {
+	nodes := append([]Node(nil), leaves...)
 	for len(nodes) > 1 {
 		type cand struct {
 			i, j int

@@ -148,6 +148,43 @@ func (s *Scan) explain(sb *strings.Builder, indent int, ann AnnotateFunc) {
 	sb.WriteByte('\n')
 }
 
+// Materialized is a re-optimization leaf: an intermediate relation a prior
+// execution attempt already computed and checkpointed at a pipeline breaker.
+// The re-entrant optimizer treats it as a base table with *exact*
+// cardinality (ActRows, observed at the checkpoint) and zero cost — the
+// work is sunk; only the unexecuted remainder of the plan is re-planned
+// around it. The executor resolves the node by ID to the stored relation
+// and never re-executes the subtree it replaced.
+type Materialized struct {
+	ID       int    // checkpoint id, resolved by the executor's reopt state
+	SlotList []int  // table slots the materialized relation covers
+	Desc     string // label of the operator that produced the relation
+	ActRows  float64
+}
+
+// Rows implements Node; exact by construction, so its q-error is 1 and a
+// materialized leaf can never re-trigger re-optimization.
+func (m *Materialized) Rows() float64 { return m.ActRows }
+
+// Cost implements Node. The relation is already computed — sunk cost.
+func (m *Materialized) Cost() float64 { return 0 }
+
+// Slots implements Node.
+func (m *Materialized) Slots() []int { return m.SlotList }
+
+// Describe returns the operator's compact label as it appears at the start
+// of its EXPLAIN line, e.g. "Materialized#1[HashJoin on[c.make = s.make]]".
+func (m *Materialized) Describe() string {
+	return fmt.Sprintf("Materialized#%d[%s]", m.ID, m.Desc)
+}
+
+func (m *Materialized) explain(sb *strings.Builder, indent int, ann AnnotateFunc) {
+	pad := strings.Repeat("  ", indent)
+	fmt.Fprintf(sb, "%s%s rows=%.1f cost=0", pad, m.Describe(), m.ActRows)
+	annotate(sb, m, ann)
+	sb.WriteByte('\n')
+}
+
 // Join combines two subtrees on equality predicates.
 type Join struct {
 	Left, Right Node

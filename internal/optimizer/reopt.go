@@ -1,0 +1,45 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"repro/internal/qgm"
+)
+
+// ReOptimize re-plans the unexecuted remainder of a partially-executed
+// block. mats are the intermediates a prior attempt materialized at
+// pipeline breakers: each enters enumeration as a leaf with exact observed
+// cardinality and zero (sunk) cost, exactly like a base table whose
+// statistics happen to be perfect. Every table slot not covered by a
+// materialized leaf gets a fresh access path, then the ordinary
+// slot-set-based join enumeration runs over the mixed leaf set — so the
+// new join order and operator choices reflect what execution actually saw,
+// not what the original estimate guessed.
+//
+// mats must cover disjoint slot sets (the executor's checkpoint registry
+// guarantees this by construction); overlap is a bug, not an input.
+func ReOptimize(blk *qgm.Block, ctx *Context, mats []*Materialized) (Node, error) {
+	covered := make(map[int]bool)
+	for _, m := range mats {
+		for _, s := range m.SlotList {
+			if covered[s] {
+				return nil, fmt.Errorf("optimizer: reopt leaves overlap on slot %d", s)
+			}
+			covered[s] = true
+		}
+	}
+	leaves := make([]Node, 0, len(blk.Tables))
+	for _, m := range mats {
+		leaves = append(leaves, m)
+	}
+	for slot := range blk.Tables {
+		if covered[slot] {
+			continue
+		}
+		leaves = append(leaves, ctx.bestAccessPath(blk, slot))
+	}
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("optimizer: reopt over empty block")
+	}
+	return ctx.enumerate(blk, leaves)
+}

@@ -167,6 +167,27 @@ func (c *Cache) Invalidate(current uint64) int {
 	return n
 }
 
+// Remove drops the entry for key, if any, and reports whether one was
+// removed. The engine calls it when a cached plan triggers mid-query
+// re-optimization: the superseded plan must not serve the next execution.
+// Counted as an invalidation — the plan was proven stale, just by observed
+// cardinalities rather than by the epoch.
+func (c *Cache) Remove(key string) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.removeLocked(e)
+	c.invalidations.Add(1)
+	mInvalidations.Inc()
+	return true
+}
+
 // removeLocked unlinks e; the caller holds c.mu and accounts the cause.
 func (c *Cache) removeLocked(e *entry) {
 	delete(c.entries, e.key)

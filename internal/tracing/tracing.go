@@ -36,6 +36,7 @@ const (
 	PhaseExecute      = "execute"
 	PhaseFeedback     = "feedback"
 	PhaseArchiveMerge = "archive.merge"
+	PhaseReoptPlan    = "reopt.plan"
 )
 
 // SpanObserver receives completed span timings in-process, independently of
